@@ -1,0 +1,59 @@
+"""Ablation — which coordinate system feeds the placement algorithm.
+
+The paper uses RNP.  This ablation swaps the coordinate system under
+the online clustering strategy (everything else fixed: 20 dispersed
+candidates, k = 3, 30 runs) to show how placement quality degrades with
+embedding quality.  The extra ``oracle`` row clusters on *perfect*
+coordinates (classical MDS of the true matrix is the closest realizable
+stand-in), bounding what any coordinate system could deliver.
+
+The benchmark timing measures one full RNP embedding of the 226-node
+matrix (the per-experiment setup cost).
+"""
+
+import numpy as np
+import pytest
+
+from repro import EvaluationSetting, run_coord_ablation
+from repro.analysis import format_figure
+from repro.coords import embed_matrix
+from repro.net import PlanetLabParams, synthetic_planetlab_matrix
+
+from conftest import FULL_SETTING, print_result
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_coord_ablation(FULL_SETTING)
+
+
+def test_coord_ablation_table(ablation, capsys, benchmark):
+    print_result(capsys, benchmark(lambda: format_figure(ablation)))
+    assert set(ablation.series) == {"mds", "rnp", "vivaldi", "gnp"}
+    values = {n: p[0].mean for n, p in ablation.series.items()}
+    assert max(values.values()) <= min(values.values()) * 1.35
+
+
+def test_all_systems_produce_usable_placements(ablation):
+    values = {name: points[0].mean for name, points in ablation.series.items()}
+    best = min(values.values())
+    # No system may be catastrophically worse than the best one: the
+    # placement layer is robust to moderate embedding error.
+    for name, value in values.items():
+        assert value <= best * 1.35, (name, value, best)
+
+
+def test_height_aware_systems_not_dominated(ablation):
+    # The height-vector systems (rnp, vivaldi) see per-node congestion
+    # that planar MDS cannot; they must be at least competitive.
+    rnp = ablation.series["rnp"][0].mean
+    mds = ablation.series["mds"][0].mean
+    assert rnp <= mds * 1.10
+
+
+def test_embedding_kernel(benchmark):
+    matrix, _ = synthetic_planetlab_matrix(PlanetLabParams(), seed=0)
+    benchmark.pedantic(
+        lambda: embed_matrix(matrix, system="rnp", rounds=30,
+                             rng=np.random.default_rng(1)),
+        rounds=3, iterations=1)

@@ -1,0 +1,100 @@
+"""Extension — split objects (erasure coding) vs whole-object replication.
+
+The paper's related work ([11], Chandy 2008) places *pieces* of objects
+instead of whole replicas.  This bench compares the two at **equal
+storage overhead 2×** on the standard setting (226 nodes, 20 dispersed
+candidates, 30 runs):
+
+* replication r=2: two full replicas, read = nearest of 2;
+* coded 2-of-4: four half-size fragments, read = 2nd-nearest of 4;
+* coded 3-of-6: six third-size fragments, read = 3rd-nearest of 6.
+
+Each scheme is *placed* with its own objective (coordinates only) and
+*scored* with its own delay model on true RTTs, mean and p95.  The
+structural result this pins down: replication wins the mean (waiting
+for one is fastest), while coding narrows the spread across clients —
+more sites means fewer badly stranded clients.
+
+The benchmark timing measures one coded placement call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import draw_candidates, summarize
+from repro.placement import (
+    CodedPlacement,
+    OnlineClusteringPlacement,
+    PlacementProblem,
+    coded_access_delay,
+)
+
+from conftest import FULL_SETTING, print_result
+
+SCHEMES = [
+    ("replication r=2", OnlineClusteringPlacement(micro_clusters=10), 1, 2),
+    ("coded 2-of-4", CodedPlacement(4, 2), 2, None),
+    ("coded 3-of-6", CodedPlacement(6, 3), 3, None),
+]
+
+
+def per_client_delays(matrix, clients, sites, k_required):
+    block = matrix.rows(list(clients), list(sites))
+    return np.partition(block, k_required - 1, axis=1)[:, k_required - 1]
+
+
+@pytest.fixture(scope="module")
+def comparison(evaluation_world):
+    matrix, coords, heights = evaluation_world
+    results = {name: {"mean": [], "p95": []} for name, *_ in SCHEMES}
+    for run in range(FULL_SETTING.n_runs):
+        rng = np.random.default_rng((FULL_SETTING.seed, run))
+        candidates, clients = draw_candidates(matrix, 20, rng)
+        for name, strategy, k_required, k_repl in SCHEMES:
+            problem = PlacementProblem(
+                matrix, candidates, clients,
+                k=k_repl if k_repl is not None else 3,
+                coords=coords, heights=heights)
+            sites = strategy.place(problem, np.random.default_rng(run))
+            delays = per_client_delays(matrix, clients, sites, k_required)
+            results[name]["mean"].append(float(delays.mean()))
+            results[name]["p95"].append(float(np.percentile(delays, 95)))
+    return results
+
+
+def test_coded_vs_replication_table(comparison, capsys, benchmark):
+    lines = ["Split objects vs replication — equal 2x storage, 30 runs",
+             f"{'scheme':>16} | {'mean delay':>10} | {'p95 delay':>10}"]
+    for name in comparison:
+        mean = summarize(comparison[name]["mean"]).mean
+        p95 = summarize(comparison[name]["p95"]).mean
+        lines.append(f"{name:>16} | {mean:>7.1f} ms | {p95:>7.1f} ms")
+    print_result(capsys, benchmark(lambda: "\n".join(lines)))
+
+
+def test_replication_wins_the_mean(comparison):
+    repl = np.mean(comparison["replication r=2"]["mean"])
+    for name in ("coded 2-of-4", "coded 3-of-6"):
+        assert repl <= np.mean(comparison[name]["mean"]) * 1.05, name
+
+
+def test_coding_narrows_the_tail_relative_to_its_mean(comparison):
+    # Tail-to-mean ratio: coding's extra sites cut how much worse the
+    # unluckiest clients fare relative to the average client.
+    def tail_ratio(name):
+        return (np.mean(comparison[name]["p95"])
+                / np.mean(comparison[name]["mean"]))
+
+    assert tail_ratio("coded 3-of-6") <= tail_ratio("replication r=2") * 1.1
+
+
+def test_coded_kernel(benchmark, evaluation_world):
+    matrix, coords, heights = evaluation_world
+    rng = np.random.default_rng(0)
+    candidates, clients = draw_candidates(matrix, 20, rng)
+    problem = PlacementProblem(matrix, candidates, clients, k=3,
+                               coords=coords, heights=heights)
+    strategy = CodedPlacement(6, 3)
+    benchmark.pedantic(
+        lambda: strategy.place(problem, np.random.default_rng(1)),
+        rounds=3, iterations=1)

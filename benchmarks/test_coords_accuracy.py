@@ -1,0 +1,129 @@
+"""Coordinate-system accuracy (Section III-A / V-A claims).
+
+The paper relies on RNP providing (a) lower prediction error and higher
+stability than Vivaldi and (b) "a prediction error typically lower than
+10 ms for a majority of node pairs" on PlanetLab.  This bench measures
+all four implemented systems on two matrices:
+
+* the **default** 226-node synthetic PlanetLab matrix, which carries
+  deliberately heavy noise (log-normal jitter, detours, congested
+  hosts) — the regime the placement experiments run in;
+* a **clean** variant (low jitter, no detours/congestion), where the
+  paper's absolute <10 ms bound is checkable (the default matrix's
+  noise floor sits above it; EXPERIMENTS.md discusses the gap).
+
+The benchmark timing measures one RNP measurement update (the per-probe
+cost a node pays).
+"""
+
+import numpy as np
+import pytest
+
+from repro.coords import (
+    EuclideanSpace,
+    RNPNode,
+    closest_selection_accuracy,
+    embed_matrix,
+    median_absolute_error,
+    relative_errors,
+)
+from repro.net import PlanetLabParams, synthetic_planetlab_matrix
+
+from conftest import print_result
+
+SYSTEMS = ("vivaldi", "rnp", "gnp", "mds")
+
+
+def _measure(matrix, system, rounds=200):
+    result = embed_matrix(matrix, system=system, rounds=rounds,
+                          rng=np.random.default_rng(1))
+    mae = median_absolute_error(matrix, result.coords, result.space)
+    rel = float(np.median(relative_errors(matrix, result.coords,
+                                          result.space)))
+    candidates = list(range(0, matrix.n, 12))[:10]
+    clients = [i for i in range(matrix.n) if i not in candidates]
+    acc = closest_selection_accuracy(matrix, result.coords, result.space,
+                                     clients, candidates)
+    return {"median_abs_ms": mae, "median_rel": rel, "selection_acc": acc,
+            "stability": result.stability_ms_per_round}
+
+
+@pytest.fixture(scope="module")
+def noisy_metrics():
+    matrix, _ = synthetic_planetlab_matrix(PlanetLabParams(), seed=0)
+    return {s: _measure(matrix, s) for s in SYSTEMS}
+
+
+@pytest.fixture(scope="module")
+def clean_metrics():
+    clean = PlanetLabParams(jitter_sigma=0.05, detour_fraction=0.0,
+                            congested_fraction=0.0)
+    matrix, _ = synthetic_planetlab_matrix(clean, seed=0)
+    return {s: _measure(matrix, s) for s in ("vivaldi", "rnp")}
+
+
+def test_coords_accuracy_table(noisy_metrics, clean_metrics, capsys,
+                               benchmark):
+    lines = ["Coordinate accuracy — default (noisy) PlanetLab matrix",
+             f"{'system':8s} {'med abs err':>12} {'med rel err':>12} "
+             f"{'closest-pick acc':>17} {'stability':>12}"]
+    for s in SYSTEMS:
+        m = noisy_metrics[s]
+        stability = (f"{m['stability']:.2f} ms/rd" if m['stability'] is not None
+                     else "—")
+        lines.append(f"{s:8s} {m['median_abs_ms']:>9.1f} ms "
+                     f"{m['median_rel']:>12.3f} {m['selection_acc']:>17.2f} "
+                     f"{stability:>12}")
+    lines.append("")
+    lines.append("Clean matrix (low jitter, no detours/congestion)")
+    for s in ("vivaldi", "rnp"):
+        m = clean_metrics[s]
+        lines.append(f"{s:8s} {m['median_abs_ms']:>9.1f} ms")
+    print_result(capsys, benchmark(lambda: "\n".join(lines)))
+    # Claims, asserted in benchmark-only runs too:
+    assert (noisy_metrics["rnp"]["median_abs_ms"]
+            <= noisy_metrics["vivaldi"]["median_abs_ms"] * 1.02)
+    assert clean_metrics["rnp"]["median_abs_ms"] < 10.0
+
+
+def test_rnp_beats_vivaldi_on_noisy_matrix(noisy_metrics):
+    assert (noisy_metrics["rnp"]["median_abs_ms"]
+            <= noisy_metrics["vivaldi"]["median_abs_ms"] * 1.02)
+    assert (noisy_metrics["rnp"]["median_rel"]
+            <= noisy_metrics["vivaldi"]["median_rel"] * 1.02)
+
+
+def test_rnp_under_10ms_on_clean_matrix(clean_metrics):
+    # The paper's "< 10 ms for a majority of node pairs" bound.
+    assert clean_metrics["rnp"]["median_abs_ms"] < 10.0
+    assert (clean_metrics["rnp"]["median_abs_ms"]
+            <= clean_metrics["vivaldi"]["median_abs_ms"] * 1.05)
+
+
+def test_rnp_at_least_as_stable_as_vivaldi(noisy_metrics):
+    # RNP's second claim: more stable coordinates than Vivaldi.
+    assert (noisy_metrics["rnp"]["stability"]
+            <= noisy_metrics["vivaldi"]["stability"] * 1.05)
+
+
+def test_decentralized_systems_usable_for_selection(noisy_metrics):
+    # Selection via coordinates must clearly beat blind choice: with 10
+    # candidates, random picking is right 10% of the time.
+    for s in ("vivaldi", "rnp", "gnp"):
+        assert noisy_metrics[s]["selection_acc"] > 0.25, s
+
+
+def test_rnp_update_kernel(benchmark):
+    space = EuclideanSpace(dim=3, use_height=True)
+    rng = np.random.default_rng(0)
+    node = RNPNode(space, rng=rng)
+    anchors = rng.normal(0, 50, size=(32, space.vector_size))
+    anchors[:, -1] = np.abs(anchors[:, -1])
+    rtts = rng.uniform(10, 200, size=32)
+    counter = {"i": 0}
+
+    def one_update():
+        i = counter["i"] = (counter["i"] + 1) % 32
+        node.update(anchors[i], 0.3, float(rtts[i]))
+
+    benchmark(one_update)

@@ -1,0 +1,100 @@
+"""Coordinate robustness under unstable measurements (RNP's raison d'être).
+
+The paper chose RNP because it keeps predicting accurately "even if it
+runs on unstable platforms such as PlanetLab", where transient host
+overload inflates individual RTT samples by an order of magnitude.
+This bench injects exactly that: each measurement is, with probability
+``outlier_fraction``, multiplied by 10×.  Accuracy is always scored
+against the clean matrix.
+
+Expected: Vivaldi (memoryless springs) degrades steeply — every outlier
+yanks the coordinate — while RNP's retrospective window, one-sided IRLS
+trimming and spring gating hold the error to a fraction of Vivaldi's.
+
+The benchmark timing measures one RNP retrospective refit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coords import (
+    EuclideanSpace,
+    RNPNode,
+    embed_matrix,
+    median_absolute_error,
+)
+from repro.net import PlanetLabParams, synthetic_planetlab_matrix
+
+from conftest import print_result
+
+OUTLIER_FRACTIONS = (0.0, 0.05, 0.15)
+
+
+@pytest.fixture(scope="module")
+def robustness():
+    matrix, _ = synthetic_planetlab_matrix(PlanetLabParams(n=150), seed=0)
+    results = {}
+    for frac in OUTLIER_FRACTIONS:
+        row = {}
+        for system in ("vivaldi", "rnp"):
+            result = embed_matrix(matrix, system=system, rounds=200,
+                                  rng=np.random.default_rng(1),
+                                  outlier_fraction=frac,
+                                  outlier_multiplier=10.0)
+            row[system] = median_absolute_error(matrix, result.coords,
+                                                result.space)
+        results[frac] = row
+    return results
+
+
+def test_robustness_table(robustness, capsys, benchmark):
+    lines = ["Coordinate robustness — median abs error (ms) vs outlier rate",
+             f"{'outliers':>9} | {'vivaldi':>8} | {'rnp':>8} | "
+             f"{'rnp advantage':>13}"]
+    for frac, row in robustness.items():
+        adv = row["vivaldi"] / max(row["rnp"], 1e-9)
+        lines.append(f"{frac:>9.0%} | {row['vivaldi']:>8.1f} | "
+                     f"{row['rnp']:>8.1f} | {adv:>12.1f}x")
+    print_result(capsys, benchmark(lambda: "\n".join(lines)))
+    # The headline: at heavy instability RNP holds up, Vivaldi does not.
+    heavy = robustness[0.15]
+    assert heavy["rnp"] < heavy["vivaldi"] * 0.5
+
+
+def test_rnp_degrades_gracefully(robustness):
+    clean = robustness[0.0]["rnp"]
+    heavy = robustness[0.15]["rnp"]
+    # 15% of samples being 10x wrong costs RNP less than 4x accuracy.
+    assert heavy <= clean * 4.0
+
+
+def test_vivaldi_is_the_fragile_one(robustness):
+    assert robustness[0.15]["vivaldi"] > robustness[0.0]["vivaldi"] * 3.0
+
+
+def test_rnp_outlier_detector_fires(robustness):
+    matrix, _ = synthetic_planetlab_matrix(PlanetLabParams(n=60), seed=2)
+    result = embed_matrix(matrix, system="rnp", rounds=150,
+                          rng=np.random.default_rng(3),
+                          outlier_fraction=0.1, outlier_multiplier=10.0)
+    # The embedding result has no node handles; re-run one node directly.
+    space = EuclideanSpace(dim=3, use_height=True)
+    rng = np.random.default_rng(4)
+    node = RNPNode(space, rng=rng)
+    anchor = np.array([50.0, 0.0, 0.0, 0.0])
+    for i in range(200):
+        rtt = 50.0 * (10.0 if rng.random() < 0.1 else 1.0)
+        node.update(anchor, 0.1, rtt)
+    assert node.outliers_suspected > 0
+    assert result.coords.shape[0] == 60
+
+
+def test_rnp_refit_kernel(benchmark):
+    space = EuclideanSpace(dim=3, use_height=True)
+    rng = np.random.default_rng(0)
+    node = RNPNode(space, window=64, refit_interval=10 ** 9, rng=rng)
+    anchors = rng.normal(0, 50, size=(64, 4))
+    anchors[:, -1] = np.abs(anchors[:, -1])
+    for row in anchors:
+        node.update(row, 0.2, float(np.linalg.norm(row[:3]) + 20.0))
+    benchmark(node._refit)

@@ -1,0 +1,75 @@
+"""Figure 1 — impact of the number of available data centers (k = 3).
+
+Paper's observations this bench reproduces and asserts:
+
+* every informed strategy improves as more candidate data centers
+  become available, while random barely does;
+* online clustering and offline k-means both achieve near-optimal
+  performance at every point.
+
+The benchmark timing measures the online-clustering placement kernel on
+one full-size problem instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro import OnlineClusteringPlacement, PlacementProblem, run_figure1
+from repro.analysis import format_figure
+
+from conftest import FULL_SETTING, print_result
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return run_figure1(FULL_SETTING)
+
+
+def test_fig1_series(figure1, capsys, benchmark):
+    text = benchmark(lambda: format_figure(figure1))
+    print_result(capsys, text)
+    names = set(figure1.series)
+    assert names == {"random", "offline k-means", "online clustering",
+                     "optimal"}
+    # Headline claims, asserted in benchmark-only runs too:
+    for name in ("offline k-means", "online clustering", "optimal"):
+        means = figure1.means(name)
+        assert means[-1] < means[0] * 0.9, name
+    for on, opt in zip(figure1.means("online clustering"),
+                       figure1.means("optimal")):
+        assert on <= opt * 1.2
+
+
+def test_fig1_informed_strategies_improve_with_datacenters(figure1):
+    for name in ("offline k-means", "online clustering", "optimal"):
+        means = figure1.means(name)
+        assert means[-1] < means[0] * 0.9, name
+
+
+def test_fig1_online_near_optimal(figure1):
+    for on, opt in zip(figure1.means("online clustering"),
+                       figure1.means("optimal")):
+        assert on <= opt * 1.2
+
+
+def test_fig1_online_tracks_offline(figure1):
+    for on, off in zip(figure1.means("online clustering"),
+                       figure1.means("offline k-means")):
+        assert abs(on - off) <= 0.2 * off
+
+
+def test_fig1_random_always_worst(figure1):
+    for name in ("offline k-means", "online clustering", "optimal"):
+        for r, v in zip(figure1.means("random"), figure1.means(name)):
+            assert v <= r
+
+
+def test_fig1_placement_kernel(benchmark, evaluation_world):
+    matrix, coords, heights = evaluation_world
+    rng = np.random.default_rng(0)
+    candidates = tuple(int(i) for i in rng.choice(matrix.n, 20, replace=False))
+    clients = tuple(i for i in range(matrix.n) if i not in set(candidates))
+    problem = PlacementProblem(matrix, candidates, clients, 3,
+                               coords=coords, heights=heights)
+    strategy = OnlineClusteringPlacement(micro_clusters=10)
+    benchmark(lambda: strategy.place(problem, np.random.default_rng(1)))

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the computational kernels.
+
+Not tied to a specific table/figure; these pin the performance of the
+pieces every experiment is built from so regressions are visible:
+
+* weighted k-means over micro-cluster pseudo-points,
+* the exhaustive optimal scan,
+* the event simulator's message throughput,
+* the synthetic matrix generator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import weighted_kmeans
+from repro.net import LatencyMatrix, PlanetLabParams, synthetic_planetlab_matrix
+from repro.placement import OptimalPlacement, PlacementProblem
+from repro.sim import Network, Node, Simulator
+
+
+def test_weighted_kmeans_kernel(benchmark):
+    rng = np.random.default_rng(0)
+    points = rng.normal(0, 100, size=(300, 3))
+    weights = rng.uniform(1, 50, size=300)
+    benchmark(lambda: weighted_kmeans(points, 7, weights=weights,
+                                      rng=np.random.default_rng(1)))
+
+
+def test_optimal_scan_k7_kernel(benchmark):
+    matrix, _ = synthetic_planetlab_matrix(PlanetLabParams(), seed=0)
+    rng = np.random.default_rng(0)
+    candidates = tuple(int(i) for i in rng.choice(226, 20, replace=False))
+    clients = tuple(i for i in range(226) if i not in set(candidates))
+    problem = PlacementProblem(matrix, candidates, clients, 7)
+    strategy = OptimalPlacement()
+    benchmark.pedantic(
+        lambda: strategy.place(problem, np.random.default_rng(1)),
+        rounds=3, iterations=1)
+
+
+class _Echo(Node):
+    def handle_message(self, message):
+        if message.kind == "ping":
+            self.send(message.sender, "pong")
+
+
+def test_simulator_message_throughput(benchmark):
+    rtt = np.full((50, 50), 20.0)
+    np.fill_diagonal(rtt, 0.0)
+    matrix = LatencyMatrix(rtt)
+
+    def run_10k_messages():
+        sim = Simulator(seed=0)
+        net = Network(sim, matrix)
+        nodes = [_Echo(net, i) for i in range(50)]
+        for i in range(5_000):
+            nodes[i % 50].send((i + 1) % 50, "ping")
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_10k_messages)
+    assert events >= 10_000  # each ping produces a pong
+
+
+def test_matrix_generation_kernel(benchmark):
+    benchmark(lambda: synthetic_planetlab_matrix(PlanetLabParams(), seed=1))

@@ -1,0 +1,86 @@
+"""Timeline — delay over time while demand migrates continents.
+
+The paper's mechanism is *gradual* migration: placements are revised
+epoch by epoch as summaries reveal demand moving.  Steady-state figures
+can't show that; this bench plots mean read delay in 20-second bins
+while the client population shifts from North America to East Asia, for
+a static placement, the paper's 5 % threshold, and an eager migrator.
+
+Expected: all policies start equal; as the shift completes, the static
+curve climbs while the migrating policies bend back down.
+
+The benchmark timing measures the per-bin aggregation step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeline import TimelinePolicy, run_timeline
+from repro.workloads import RegionalShift
+
+from conftest import print_result
+
+POLICIES = [
+    TimelinePolicy("static", epoch_period_ms=None),
+    TimelinePolicy("paper-5%", epoch_period_ms=30_000.0,
+                   min_relative_gain=0.05),
+    TimelinePolicy("eager", epoch_period_ms=30_000.0,
+                   min_relative_gain=0.0),
+]
+
+
+def shift_factory(topology):
+    return RegionalShift(topology, "us-east", "asia-east",
+                         start_ms=60_000.0, end_ms=180_000.0,
+                         intensity=15.0)
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    return run_timeline(shift_factory, POLICIES, n_nodes=80, n_dc=12,
+                        duration_ms=240_000.0, bin_ms=20_000.0, seed=5)
+
+
+def test_timeline_table(timeline, capsys, benchmark):
+    centers = timeline.bin_centers_s
+    lines = ["Timeline — mean read delay (ms) while demand shifts NA -> Asia",
+             "t (s):    " + " ".join(f"{c:>6.0f}" for c in centers)]
+    for name, bins in timeline.series.items():
+        cells = " ".join(f"{'  --' if np.isnan(v) else format(v, '6.1f')}"
+                         for v in bins)
+        lines.append(f"{name:>9}: {cells}  "
+                     f"({timeline.migrations[name]} migrations)")
+    print_result(capsys, benchmark(lambda: "\n".join(lines)))
+
+
+def test_policies_start_identical(timeline):
+    first = [timeline.series[p.name][0] for p in POLICIES]
+    assert max(first) - min(first) <= 0.15 * max(first)
+
+
+def test_static_degrades_after_the_shift(timeline):
+    static = timeline.series["static"]
+    assert static[-1] > static[0] * 1.2
+    assert timeline.migrations["static"] == 0
+
+
+def test_migrating_policies_beat_static_at_the_end(timeline):
+    static_tail = np.nanmean(timeline.series["static"][-3:])
+    for name in ("paper-5%", "eager"):
+        tail = np.nanmean(timeline.series[name][-3:])
+        assert tail < static_tail * 0.9, name
+        assert timeline.migrations[name] >= 1
+
+
+def test_binning_kernel(timeline, benchmark):
+    reads = [(float(t), float(t % 97)) for t in range(0, 240_000, 37)]
+    edges = timeline.bin_edges_ms
+
+    def aggregate():
+        out = []
+        for lo, hi in zip(edges, edges[1:]):
+            window = [d for t, d in reads if lo <= t < hi]
+            out.append(np.mean(window) if window else np.nan)
+        return out
+
+    benchmark(aggregate)

@@ -1,0 +1,79 @@
+"""Custom topologies: placement for an enterprise's own geography.
+
+Everything in the evaluation uses the PlanetLab-like world mix, but the
+topology model is fully parameterizable: define your own
+:class:`~repro.net.Region` blobs (offices, markets), generate a matrix,
+and run the same placement machinery.
+
+Here: a company with a huge engineering hub in Bangalore, product teams
+in Berlin, and a small office in São Paulo, choosing 2 replica sites
+among 8 candidate data centers spread across its regions.
+
+Run:  python examples/custom_topology.py
+"""
+
+import numpy as np
+
+from repro.coords import embed_matrix
+from repro.net import PlanetLabParams, Region, synthetic_planetlab_matrix
+from repro.placement import (
+    OnlineClusteringPlacement,
+    OptimalPlacement,
+    PlacementProblem,
+    RandomPlacement,
+    average_access_delay,
+)
+
+COMPANY_REGIONS = (
+    Region("bangalore", 12.97, 77.59, weight=0.55, spread_deg=1.5),
+    Region("berlin", 52.52, 13.40, weight=0.30, spread_deg=1.5),
+    Region("sao-paulo", -23.55, -46.63, weight=0.15, spread_deg=1.5),
+)
+
+
+def main() -> None:
+    params = PlanetLabParams(n=60, regions=COMPANY_REGIONS,
+                             congested_fraction=0.05)
+    matrix, topology = synthetic_planetlab_matrix(params, seed=51)
+    print(matrix.describe())
+    print()
+
+    embedding = embed_matrix(matrix, system="rnp", rounds=120,
+                             rng=np.random.default_rng(52))
+    planar = embedding.coords[:, :embedding.space.dim]
+    heights = embedding.coords[:, -1]
+
+    # Candidates: a few nodes per region act as data centers.
+    rng = np.random.default_rng(53)
+    by_region: dict[str, list[int]] = {}
+    for node in range(matrix.n):
+        by_region.setdefault(topology.region_name(node), []).append(node)
+    candidates = []
+    for region, nodes in sorted(by_region.items()):
+        picks = rng.choice(len(nodes), size=min(3, len(nodes)),
+                           replace=False)
+        candidates.extend(nodes[int(p)] for p in picks)
+    candidates = tuple(sorted(candidates)[:8])
+    clients = tuple(i for i in range(matrix.n) if i not in set(candidates))
+
+    problem = PlacementProblem(matrix, candidates, clients, k=2,
+                               coords=planar, heights=heights)
+    print(f"{len(candidates)} candidate data centers, "
+          f"{len(clients)} clients; choosing k=2 replica sites\n")
+    print(f"{'strategy':>20} | {'mean delay':>10} | sites (region)")
+    print("-" * 64)
+    for strategy in (RandomPlacement(), OnlineClusteringPlacement(),
+                     OptimalPlacement()):
+        sites = strategy.place(problem, np.random.default_rng(54))
+        delay = average_access_delay(matrix, clients, sites)
+        names = ", ".join(topology.region_name(s) for s in sorted(sites))
+        print(f"{strategy.name:>20} | {delay:>7.1f} ms | {names}")
+
+    print()
+    print("With 55% of demand in Bangalore and 30% in Berlin, informed")
+    print("placement covers those two hubs; random frequently strands a")
+    print("replica in the small office's region instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: compare the paper's four placement strategies.
+
+Builds a synthetic PlanetLab-style RTT matrix, assigns RNP network
+coordinates, and runs random / offline k-means / online clustering /
+optimal placement on the same problem instances — a miniature of the
+paper's Figure 2 experiment.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    EvaluationSetting,
+    format_figure,
+    run_figure2,
+)
+
+
+def main() -> None:
+    # A reduced setting so the script finishes in seconds; drop the
+    # overrides to reproduce the paper's full 226-node, 30-run figures.
+    setting = EvaluationSetting(n_nodes=80, n_runs=8, seed=7)
+
+    print("Simulating", setting.n_nodes, "nodes,", setting.n_runs,
+          "runs per point; coordinates via", setting.coord_system.upper())
+    print()
+
+    figure = run_figure2(setting, replica_counts=(1, 2, 3, 4, 5), n_dc=15)
+    print(format_figure(figure))
+    print()
+
+    random_k3 = figure.means("random")[2]
+    online_k3 = figure.means("online clustering")[2]
+    optimal_k3 = figure.means("optimal")[2]
+    gain = 100.0 * (random_k3 - online_k3) / random_k3
+    print(f"At k=3: online clustering is {gain:.0f}% below random placement")
+    print(f"        and within {100 * (online_k3 / optimal_k3 - 1):.0f}% of "
+          "the exhaustive optimum.")
+
+
+if __name__ == "__main__":
+    main()

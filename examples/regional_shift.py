@@ -1,0 +1,99 @@
+"""Gradual migration chasing a moving user population.
+
+The scenario that motivates *gradual* placement: a service's demand
+migrates from North America to East Asia over half an hour (think a
+global news cycle rolling with the sun).  A static placement decays;
+the paper's controller re-places replicas epoch by epoch using only
+micro-cluster summaries.
+
+The script compares three policies on identical workloads:
+
+* ``static``   — never migrate (threshold ~ infinity);
+* ``paper``    — migrate when the predicted gain exceeds 5 %;
+* ``eager``    — migrate on any predicted improvement.
+
+Run:  python examples/regional_shift.py
+"""
+
+import numpy as np
+
+from repro.analysis import draw_candidates
+from repro.coords import embed_matrix
+from repro.core import ControllerConfig, MigrationPolicy
+from repro.net import PlanetLabParams, synthetic_planetlab_matrix
+from repro.sim import Simulator
+from repro.store import ReplicatedStore
+from repro.workloads import AccessWorkload, ClientPopulation, RegionalShift
+
+N_NODES = 90
+N_DATACENTERS = 14
+RUN_MS = 300_000.0
+
+
+def run_policy(name: str, threshold: float) -> dict:
+    matrix, topology = synthetic_planetlab_matrix(
+        PlanetLabParams(n=N_NODES), seed=11)
+    embedding = embed_matrix(matrix, system="rnp", rounds=100,
+                             rng=np.random.default_rng(12))
+    planar = embedding.coords[:, :embedding.space.dim]
+
+    sim = Simulator(seed=11)
+    # Data centers sit at geographically dispersed nodes (the paper's
+    # setting) so every demand region has a viable nearby site.
+    candidates, _ = draw_candidates(matrix, N_DATACENTERS,
+                                    np.random.default_rng(13))
+    store = ReplicatedStore(sim, matrix, candidates,
+                            planar, selection="oracle")
+    store.create_object(
+        "feed", size_gb=5.0, k=2,
+        controller_config=ControllerConfig(k=2, max_micro_clusters=12),
+        policy=MigrationPolicy(min_relative_gain=threshold,
+                               min_absolute_gain_ms=0.0),
+        epoch_period_ms=20_000.0,
+    )
+
+    clients = tuple(i for i in range(N_NODES) if i not in set(candidates))
+    shift = RegionalShift(topology, "us-east", "asia-east",
+                          start_ms=60_000.0, end_ms=240_000.0,
+                          intensity=12.0)
+    AccessWorkload(store, ClientPopulation.uniform(clients), ["feed"],
+                   rate_per_second=150.0, pattern=shift)
+    sim.run_until(RUN_MS)
+
+    tally = store.controller("feed").tally
+    last_minute = [r.delay_ms for r in store.log.records
+                   if r.time > RUN_MS - 60_000.0]
+    return {
+        "name": name,
+        "mean_delay": store.log.mean_delay(kind="read"),
+        "final_delay": float(np.mean(last_minute)),
+        "migrations": tally.migrations,
+        "dollars": tally.migration_dollars,
+    }
+
+
+def main() -> None:
+    rows = [
+        run_policy("static (never migrate)", threshold=10.0),
+        run_policy("paper (5% threshold)", threshold=0.05),
+        run_policy("eager (any gain)", threshold=0.0),
+    ]
+    print(f"{'policy':>24} | {'mean delay':>10} | {'final delay':>11} | "
+          f"{'migrations':>10} | {'cost ($)':>8}")
+    print("-" * 78)
+    for row in rows:
+        print(f"{row['name']:>24} | {row['mean_delay']:>7.1f} ms | "
+              f"{row['final_delay']:>8.1f} ms | {row['migrations']:>10} | "
+              f"{row['dollars']:>8.2f}")
+    static, paper, eager = rows
+    print()
+    saved = 100.0 * (static["mean_delay"] - paper["mean_delay"]) / static["mean_delay"]
+    print(f"Gradual migration (5% threshold) cut the mean read delay by "
+          f"{saved:.0f}% versus never migrating,")
+    print(f"while migrating at most as often as the eager policy "
+          f"({paper['migrations']} vs {eager['migrations']} moves) — "
+          "the paper's trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""repro — reproduction of "Towards Optimal Data Replication Across Data
+Centers" (Ping, Li, McConnell, Vabbalareddy & Hwang, ICDCS 2011).
+
+The package implements the paper's online replica placement technique and
+every substrate it runs on:
+
+* :mod:`repro.net` — RTT matrices and a synthetic PlanetLab topology;
+* :mod:`repro.coords` — network coordinates (Vivaldi, RNP, GNP, MDS);
+* :mod:`repro.sim` — a discrete-event simulator with latency-delayed
+  messaging and live coordinate gossip;
+* :mod:`repro.clustering` — weighted k-means and streaming micro-clusters;
+* :mod:`repro.core` — the contribution: per-replica access summaries,
+  Algorithm 1 macro-placement, the migration policy and control loop;
+* :mod:`repro.placement` — the four evaluated strategies plus two
+  related-work baselines, under one interface;
+* :mod:`repro.store` — a replicated object store that exercises the whole
+  stack end-to-end (reads, writes, quorums, migration);
+* :mod:`repro.workloads` — client populations, temporal patterns, traces;
+* :mod:`repro.analysis` — the paper's evaluation as callable experiments.
+
+Quickstart::
+
+    from repro import EvaluationSetting, run_figure2, format_figure
+    setting = EvaluationSetting(n_nodes=80, n_runs=10)
+    print(format_figure(run_figure2(setting)))
+"""
+
+from repro.analysis import (
+    EvaluationSetting,
+    FigureResult,
+    format_figure,
+    format_table2,
+    run_comparison,
+    run_coord_ablation,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_table2,
+)
+from repro.core import (
+    ControllerConfig,
+    MigrationCostModel,
+    MigrationPolicy,
+    ReplicaAccessSummary,
+    ReplicationController,
+    estimate_average_delay,
+    macro_cluster,
+    place_replicas,
+)
+from repro.net import LatencyMatrix, PlanetLabParams, synthetic_planetlab_matrix
+from repro.placement import (
+    GreedyPlacement,
+    HotZonePlacement,
+    KMedianPlacement,
+    OfflineKMeansPlacement,
+    OnlineClusteringPlacement,
+    OptimalPlacement,
+    PlacementProblem,
+    RandomPlacement,
+    average_access_delay,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analysis
+    "EvaluationSetting",
+    "FigureResult",
+    "format_figure",
+    "format_table2",
+    "run_comparison",
+    "run_coord_ablation",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_table2",
+    # core
+    "ControllerConfig",
+    "MigrationCostModel",
+    "MigrationPolicy",
+    "ReplicaAccessSummary",
+    "ReplicationController",
+    "estimate_average_delay",
+    "macro_cluster",
+    "place_replicas",
+    # net
+    "LatencyMatrix",
+    "PlanetLabParams",
+    "synthetic_planetlab_matrix",
+    # placement
+    "GreedyPlacement",
+    "HotZonePlacement",
+    "KMedianPlacement",
+    "OfflineKMeansPlacement",
+    "OnlineClusteringPlacement",
+    "OptimalPlacement",
+    "PlacementProblem",
+    "RandomPlacement",
+    "average_access_delay",
+]

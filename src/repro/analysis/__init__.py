@@ -1,0 +1,61 @@
+"""Experiment harness: the paper's evaluation, reproducible.
+
+:mod:`repro.analysis.experiment` contains one entry point per evaluation
+artifact (Figures 1–3, Table II, plus this repo's ablations); every
+entry point averages over seeded runs exactly as the paper does
+("averaged over 30 simulation runs each of which began with different
+candidate replica locations").  :mod:`repro.analysis.report` renders the
+results as the text tables the benchmark harness prints, and
+:mod:`repro.analysis.stats` provides the summary statistics.
+"""
+
+from repro.analysis.stats import (
+    PairedComparison,
+    SeriesPoint,
+    Summary,
+    compare_paired,
+    summarize,
+)
+from repro.analysis.experiment import (
+    EvaluationSetting,
+    FigureResult,
+    Table2Row,
+    default_strategies,
+    draw_candidates,
+    run_comparison,
+    run_coord_ablation,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_table2,
+)
+from repro.analysis.charts import render_chart
+from repro.analysis.report import format_figure, format_table2
+from repro.analysis.reportgen import generate_report
+from repro.analysis.timeline import TimelinePolicy, TimelineResult, run_timeline
+
+__all__ = [
+    "PairedComparison",
+    "SeriesPoint",
+    "Summary",
+    "compare_paired",
+    "summarize",
+    "EvaluationSetting",
+    "FigureResult",
+    "Table2Row",
+    "default_strategies",
+    "draw_candidates",
+    "run_comparison",
+    "run_coord_ablation",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_table2",
+    "format_figure",
+    "format_table2",
+    "render_chart",
+    "generate_report",
+    "TimelinePolicy",
+    "TimelineResult",
+    "run_timeline",
+]

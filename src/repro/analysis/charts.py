@@ -1,0 +1,84 @@
+"""Plotting-free ASCII charts for figure results.
+
+The benchmark tables give exact numbers; these charts give the *shape*
+at a glance in any terminal — no matplotlib dependency, so the repo
+stays installable offline.  Each series is drawn with its own marker on
+a shared canvas, mirroring how the paper's figures overlay the four
+strategies.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiment import FigureResult
+
+__all__ = ["render_chart"]
+
+#: Markers assigned to series in insertion order (then recycled).
+MARKERS = "ox*#+%@&"
+
+
+def render_chart(result: FigureResult, width: int = 64,
+                 height: int = 16) -> str:
+    """Render a figure as an ASCII scatter/line chart.
+
+    Parameters
+    ----------
+    result:
+        The figure to draw.
+    width / height:
+        Plot-area size in characters (axes and labels are added around
+        it).
+    """
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4 characters")
+    series_names = list(result.series)
+    if not series_names:
+        raise ValueError("figure has no series")
+
+    xs = sorted({p.x for points in result.series.values() for p in points})
+    ys = [p.mean for points in result.series.values() for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, marker: str) -> None:
+        col = round_clamp((x - x_lo) / x_span * (width - 1), width - 1)
+        row = round_clamp((y_hi - y) / y_span * (height - 1), height - 1)
+        # Later series overwrite earlier ones on collision; the legend
+        # disambiguates close curves.
+        canvas[row][col] = marker
+
+    for index, name in enumerate(series_names):
+        marker = MARKERS[index % len(MARKERS)]
+        for point in result.series[name]:
+            plot(point.x, point.mean, marker)
+
+    lines = [f"{result.name} — {result.ylabel}"]
+    label_width = 8
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = f"{y_hi:8.1f}"
+        elif i == height - 1:
+            label = f"{y_lo:8.1f}"
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    x_axis = (f"{x_lo:g}".ljust(width // 2)
+              + f"{x_hi:g}".rjust(width - width // 2))
+    lines.append(" " * (label_width + 1) + x_axis)
+    lines.append(" " * (label_width + 1) + result.xlabel)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}"
+        for i, name in enumerate(series_names)
+    )
+    lines.append(" " * (label_width + 1) + legend)
+    return "\n".join(lines)
+
+
+def round_clamp(value: float, maximum: int) -> int:
+    """Round to the nearest cell and clamp into [0, maximum]."""
+    return max(0, min(maximum, round(value)))

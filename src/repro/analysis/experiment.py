@@ -1,0 +1,396 @@
+"""The paper's evaluation, as callable experiments.
+
+The methodology mirrors Section IV-A: one 226-node matrix (synthetic
+PlanetLab; see DESIGN.md §2), network coordinates assigned once, then for
+each configuration ``n_runs`` independent draws of candidate replica
+locations; the remaining nodes are the clients, every client reads its
+closest replica, and the reported number is the true mean access delay.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.clustering.kmeans import weighted_kmeans
+from repro.coords.embedding import embed_matrix
+from repro.coords.space import EuclideanSpace
+from repro.core.costs import offline_bandwidth_bytes, online_bandwidth_bytes
+from repro.core.summarizer import ReplicaAccessSummary
+from repro.core.macro import place_replicas
+from repro.net.latency import LatencyMatrix
+from repro.net.planetlab import PlanetLabParams, synthetic_planetlab_matrix
+from repro.placement.base import (
+    PlacementProblem,
+    PlacementStrategy,
+    average_access_delay,
+)
+from repro.placement.offline_kmeans import OfflineKMeansPlacement
+from repro.placement.online import OnlineClusteringPlacement
+from repro.placement.optimal import OptimalPlacement
+from repro.placement.random_placement import RandomPlacement
+from repro.analysis.stats import SeriesPoint, summarize
+
+__all__ = [
+    "EvaluationSetting",
+    "FigureResult",
+    "Table2Row",
+    "default_strategies",
+    "draw_candidates",
+    "run_comparison",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_table2",
+    "run_coord_ablation",
+]
+
+
+@dataclass(frozen=True)
+class EvaluationSetting:
+    """The shared experimental setting of Section IV-A.
+
+    Attributes
+    ----------
+    n_nodes:
+        Total nodes emulated (paper: 226 PlanetLab hosts).
+    n_runs:
+        Independent candidate draws per configuration (paper: 30).
+    coord_system:
+        How nodes get coordinates: ``"rnp"`` (the paper's system;
+        default), ``"vivaldi"``, ``"gnp"`` or ``"mds"``.  The
+        decentralized systems carry height vectors, which the placement
+        strategies use to price per-node access delay.
+    embed_rounds:
+        Gossip rounds for the decentralized systems.
+    candidate_mode:
+        How each run draws its candidate data centers: ``"dispersed"``
+        (the paper's geographically diverse sites) or ``"uniform"``.
+    seed:
+        Master seed: drives the matrix, the embedding and every run.
+    """
+
+    n_nodes: int = 226
+    n_runs: int = 30
+    coord_system: str = "rnp"
+    embed_rounds: int = 100
+    candidate_mode: str = "dispersed"
+    seed: int = 0
+
+    def build(self) -> tuple[LatencyMatrix, np.ndarray, np.ndarray | None]:
+        """Materialize (matrix, planar coordinates, heights-or-None)."""
+        matrix, _ = synthetic_planetlab_matrix(
+            PlanetLabParams(n=self.n_nodes), seed=self.seed)
+        result = embed_matrix(matrix, system=self.coord_system,
+                              rounds=self.embed_rounds,
+                              rng=np.random.default_rng(self.seed + 1))
+        planar = result.coords[:, :result.space.dim]
+        heights = (result.coords[:, -1] if result.space.use_height else None)
+        return matrix, planar, heights
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """Series data for one reproduced figure."""
+
+    name: str
+    xlabel: str
+    ylabel: str
+    series: dict[str, list[SeriesPoint]]
+
+    def means(self, series_name: str) -> list[float]:
+        """Mean values of one series, in x order."""
+        return [p.mean for p in self.series[series_name]]
+
+    def xs(self, series_name: str) -> list[float]:
+        """x positions of one series."""
+        return [p.x for p in self.series[series_name]]
+
+
+def default_strategies(micro_clusters: int = 10) -> list[PlacementStrategy]:
+    """The paper's four contenders, in its presentation order."""
+    return [
+        RandomPlacement(),
+        OfflineKMeansPlacement(),
+        OnlineClusteringPlacement(micro_clusters=micro_clusters),
+        OptimalPlacement(),
+    ]
+
+
+def draw_candidates(matrix: LatencyMatrix, n_dc: int,
+                     rng: np.random.Generator,
+                     mode: str = "dispersed"
+                     ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """One run's split into candidate data centers and clients.
+
+    ``mode="dispersed"`` (default) reproduces the paper's setup: the
+    candidate nodes are "dispersed at diverse geographic locations",
+    each representing a different data center.  Candidates are drawn by
+    randomized farthest-point sampling on true RTTs (probability
+    proportional to squared distance from the already-chosen set), so
+    every run gets a different but always geographically diverse set.
+    ``mode="uniform"`` draws candidates uniformly from the nodes, i.e.
+    proportional to client density — a harsher setting for the paper's
+    claims, kept for the sensitivity benchmarks.
+    """
+    n_nodes = matrix.n
+    if mode == "uniform":
+        picks = rng.choice(n_nodes, size=n_dc, replace=False)
+        candidates = tuple(int(p) for p in picks)
+    elif mode == "dispersed":
+        first = int(rng.integers(0, n_nodes))
+        chosen = [first]
+        min_dist = matrix.rtt[first].copy()
+        for _ in range(n_dc - 1):
+            weights = min_dist ** 2
+            weights[chosen] = 0.0
+            total = weights.sum()
+            if total <= 0:  # degenerate matrix: fall back to uniform
+                remaining = [i for i in range(n_nodes) if i not in set(chosen)]
+                chosen.append(int(rng.choice(remaining)))
+            else:
+                nxt = int(rng.choice(n_nodes, p=weights / total))
+                chosen.append(nxt)
+                min_dist = np.minimum(min_dist, matrix.rtt[nxt])
+        candidates = tuple(chosen)
+    else:
+        raise ValueError(f"unknown candidate mode {mode!r}")
+    taken = set(candidates)
+    clients = tuple(i for i in range(n_nodes) if i not in taken)
+    return candidates, clients
+
+
+def run_comparison(matrix: LatencyMatrix, coords: np.ndarray,
+                   strategies: Sequence[PlacementStrategy],
+                   n_dc: int, k: int, n_runs: int,
+                   seed: int = 0,
+                   heights: np.ndarray | None = None,
+                   candidate_mode: str = "dispersed") -> dict[str, list[float]]:
+    """Mean access delay per strategy over ``n_runs`` candidate draws.
+
+    Every strategy sees the *same* candidate/client split in each run,
+    so the comparison is paired (as in the paper's simulator).
+    """
+    if n_dc >= matrix.n:
+        raise ValueError("need at least one client node")
+    delays: dict[str, list[float]] = {s.name: [] for s in strategies}
+    for run in range(n_runs):
+        run_rng = np.random.default_rng((seed, run))
+        candidates, clients = draw_candidates(matrix, n_dc, run_rng,
+                                              candidate_mode)
+        problem = PlacementProblem(matrix, candidates, clients, k,
+                                   coords=coords, heights=heights)
+        for strategy in strategies:
+            strat_rng = np.random.default_rng(
+                (seed, run, zlib.crc32(strategy.name.encode())))
+            sites = strategy.place(problem, strat_rng)
+            delays[strategy.name].append(
+                average_access_delay(matrix, clients, sites))
+    return delays
+
+
+def _sweep(matrix: LatencyMatrix, coords: np.ndarray,
+           strategies_for_x: Callable[[float], Sequence[PlacementStrategy]],
+           xs: Sequence[float], n_dc_for_x: Callable[[float], int],
+           k_for_x: Callable[[float], int], n_runs: int,
+           seed: int,
+           heights: np.ndarray | None = None,
+           candidate_mode: str = "dispersed") -> dict[str, list[SeriesPoint]]:
+    series: dict[str, list[SeriesPoint]] = {}
+    for x in xs:
+        strategies = strategies_for_x(x)
+        delays = run_comparison(matrix, coords, strategies,
+                                n_dc_for_x(x), k_for_x(x), n_runs, seed,
+                                heights=heights, candidate_mode=candidate_mode)
+        for name, values in delays.items():
+            series.setdefault(name, []).append(
+                SeriesPoint(float(x), summarize(values)))
+    return series
+
+
+def run_figure1(setting: EvaluationSetting | None = None,
+                datacenter_counts: Sequence[int] = (5, 10, 15, 20, 25, 30),
+                k: int = 3,
+                micro_clusters: int = 10) -> FigureResult:
+    """Figure 1: impact of the number of available data centers (k = 3)."""
+    setting = setting or EvaluationSetting()
+    matrix, coords, heights = setting.build()
+    series = _sweep(
+        matrix, coords,
+        strategies_for_x=lambda _x: default_strategies(micro_clusters),
+        xs=datacenter_counts,
+        n_dc_for_x=int,
+        k_for_x=lambda _x: k,
+        n_runs=setting.n_runs,
+        seed=setting.seed,
+        heights=heights,
+        candidate_mode=setting.candidate_mode,
+    )
+    return FigureResult(
+        name="Figure 1",
+        xlabel=f"number of data centers ({k} replicas)",
+        ylabel="average access delay (ms)",
+        series=series,
+    )
+
+
+def run_figure2(setting: EvaluationSetting | None = None,
+                replica_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+                n_dc: int = 20,
+                micro_clusters: int = 10) -> FigureResult:
+    """Figure 2: impact of the degree of replication (20 data centers)."""
+    setting = setting or EvaluationSetting()
+    matrix, coords, heights = setting.build()
+    series = _sweep(
+        matrix, coords,
+        strategies_for_x=lambda _x: default_strategies(micro_clusters),
+        xs=replica_counts,
+        n_dc_for_x=lambda _x: n_dc,
+        k_for_x=int,
+        n_runs=setting.n_runs,
+        seed=setting.seed,
+        heights=heights,
+        candidate_mode=setting.candidate_mode,
+    )
+    return FigureResult(
+        name="Figure 2",
+        xlabel=f"number of replicas ({n_dc} data centers)",
+        ylabel="average access delay (ms)",
+        series=series,
+    )
+
+
+def run_figure3(setting: EvaluationSetting | None = None,
+                micro_cluster_counts: Sequence[int] = (1, 2, 4, 7, 11),
+                replica_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+                n_dc: int = 20) -> FigureResult:
+    """Figure 3: online clustering delay vs. k, one series per m."""
+    setting = setting or EvaluationSetting()
+    matrix, coords, heights = setting.build()
+    series: dict[str, list[SeriesPoint]] = {}
+    for m in micro_cluster_counts:
+        strategy = OnlineClusteringPlacement(micro_clusters=m)
+        for k in replica_counts:
+            delays = run_comparison(matrix, coords, [strategy], n_dc, k,
+                                    setting.n_runs, setting.seed,
+                                    heights=heights,
+                                    candidate_mode=setting.candidate_mode)
+            name = f"{m} micro-clusters"
+            series.setdefault(name, []).append(
+                SeriesPoint(float(k), summarize(delays[strategy.name])))
+    return FigureResult(
+        name="Figure 3",
+        xlabel=f"number of replicas ({n_dc} data centers)",
+        ylabel="average access delay (ms)",
+        series=series,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table2Row:
+    """Measured online-vs-offline costs for one access volume.
+
+    ``online_seconds`` / ``offline_seconds`` time the *coordinator's*
+    clustering step — the quantity Table II bounds (O((km)^k log km) vs
+    O(n^k log n)).  ``online_ingest_seconds`` is the per-replica stream
+    maintenance, which is O(m) per access and distributed across the
+    replica servers, reported for completeness.
+    """
+
+    n_accesses: int
+    k: int
+    m: int
+    online_bytes: int
+    offline_bytes: int
+    online_seconds: float
+    offline_seconds: float
+    online_ingest_seconds: float
+    online_bytes_analytic: int
+    offline_bytes_analytic: int
+
+
+def run_table2(n_accesses_list: Sequence[int] = (1_000, 10_000, 100_000),
+               k: int = 3, m: int = 100, dim: int = 3,
+               seed: int = 0) -> list[Table2Row]:
+    """Table II: bandwidth and computation, online vs. offline.
+
+    For each access volume *n*: draw *n* client coordinates from ``k``
+    population blobs, (a) feed them through per-replica summaries and
+    cluster the micro-clusters (online), (b) record all of them and run
+    k-means directly (offline).  Bytes are what each approach must ship
+    to the coordinator; seconds are measured clustering time.
+    """
+    rows: list[Table2Row] = []
+    rng = np.random.default_rng(seed)
+    blob_centers = rng.uniform(-200, 200, size=(max(k, 2), dim))
+    for n in n_accesses_list:
+        assignment = rng.integers(0, blob_centers.shape[0], size=n)
+        points = blob_centers[assignment] + rng.normal(0, 15, size=(n, dim))
+
+        # Online: k summaries, each sees one shard of the stream.
+        summaries = [ReplicaAccessSummary(m, radius_floor=10.0)
+                     for _ in range(k)]
+        shard = rng.integers(0, k, size=n)
+        started = time.perf_counter()
+        for point, s in zip(points, shard):
+            summaries[s].record_access(point)
+        online_ingest_seconds = time.perf_counter() - started
+        pooled = [c for summary in summaries for c in summary.snapshot()]
+        started = time.perf_counter()
+        place_replicas(pooled, k, blob_centers, np.random.default_rng(seed))
+        online_seconds = time.perf_counter() - started
+        online_bytes = sum(s.wire_size_bytes() for s in summaries)
+
+        # Offline: ship every coordinate, cluster them all.
+        started = time.perf_counter()
+        weighted_kmeans(points, k, rng=np.random.default_rng(seed))
+        offline_seconds = time.perf_counter() - started
+        offline_bytes = points.nbytes
+
+        rows.append(Table2Row(
+            n_accesses=n, k=k, m=m,
+            online_bytes=online_bytes,
+            offline_bytes=offline_bytes,
+            online_seconds=online_seconds,
+            offline_seconds=offline_seconds,
+            online_ingest_seconds=online_ingest_seconds,
+            online_bytes_analytic=online_bandwidth_bytes(k, m, dim),
+            offline_bytes_analytic=offline_bandwidth_bytes(n, dim),
+        ))
+    return rows
+
+
+def run_coord_ablation(setting: EvaluationSetting | None = None,
+                       systems: Sequence[str] = ("mds", "rnp", "vivaldi", "gnp"),
+                       n_dc: int = 20, k: int = 3,
+                       micro_clusters: int = 10) -> FigureResult:
+    """Ablation: how the coordinate system affects online placement."""
+    setting = setting or EvaluationSetting()
+    matrix, _ = synthetic_planetlab_matrix(
+        PlanetLabParams(n=setting.n_nodes), seed=setting.seed)
+    series: dict[str, list[SeriesPoint]] = {}
+    for system in systems:
+        result = embed_matrix(matrix, system=system,
+                              rounds=setting.embed_rounds,
+                              rng=np.random.default_rng(setting.seed + 1))
+        planar = result.coords[:, :result.space.dim]
+        heights = (result.coords[:, -1] if result.space.use_height else None)
+        strategy = OnlineClusteringPlacement(micro_clusters=micro_clusters)
+        delays = run_comparison(matrix, planar, [strategy], n_dc, k,
+                                setting.n_runs, setting.seed,
+                                heights=heights,
+                                candidate_mode=setting.candidate_mode)
+        series[system] = [SeriesPoint(float(k), summarize(delays[strategy.name]))]
+    return FigureResult(
+        name="Coordinate-system ablation",
+        xlabel=f"k = {k}, {n_dc} data centers",
+        ylabel="average access delay (ms)",
+        series=series,
+    )

@@ -1,0 +1,97 @@
+"""Export experiment results: CSV for plotting, JSON for archiving.
+
+CSV is long-form and lossy-but-convenient; the JSON round-trip
+(:func:`figure_to_json` / :func:`figure_from_json`) is lossless for a
+:class:`~repro.analysis.experiment.FigureResult`, so a regenerated
+figure can be diffed against an archived run.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Sequence
+
+from repro.analysis.experiment import FigureResult, Table2Row
+from repro.analysis.stats import SeriesPoint, Summary
+
+__all__ = ["figure_to_csv", "table2_to_csv", "figure_to_json",
+           "figure_from_json"]
+
+
+def figure_to_csv(result: FigureResult, path: str) -> None:
+    """Write a figure as long-form CSV.
+
+    Columns: ``series, x, mean, std, ci95_half_width, n`` — one row per
+    (series, x) point, ready for pandas/gnuplot/matplotlib.
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "x", "mean_ms", "std_ms",
+                         "ci95_half_width_ms", "n_runs"])
+        for name, points in result.series.items():
+            for point in points:
+                s = point.summary
+                writer.writerow([name, point.x, f"{s.mean:.6f}",
+                                 f"{s.std:.6f}", f"{s.ci95_half_width:.6f}",
+                                 s.n])
+
+
+def figure_to_json(result: FigureResult, path: str) -> None:
+    """Persist a figure losslessly as JSON."""
+    payload = {
+        "name": result.name,
+        "xlabel": result.xlabel,
+        "ylabel": result.ylabel,
+        "series": {
+            name: [
+                {"x": p.x, "mean": p.summary.mean, "std": p.summary.std,
+                 "ci95_half_width": p.summary.ci95_half_width,
+                 "n": p.summary.n}
+                for p in points
+            ]
+            for name, points in result.series.items()
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def figure_from_json(path: str) -> FigureResult:
+    """Load a figure previously saved with :func:`figure_to_json`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    for field in ("name", "xlabel", "ylabel", "series"):
+        if field not in payload:
+            raise ValueError(f"figure JSON missing field {field!r}")
+    series = {
+        name: [
+            SeriesPoint(float(p["x"]),
+                        Summary(float(p["mean"]), float(p["std"]),
+                                float(p["ci95_half_width"]), int(p["n"])))
+            for p in points
+        ]
+        for name, points in payload["series"].items()
+    }
+    return FigureResult(payload["name"], payload["xlabel"],
+                        payload["ylabel"], series)
+
+
+def table2_to_csv(rows: Sequence[Table2Row], path: str) -> None:
+    """Write Table II measurements as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "n_accesses", "k", "m",
+            "online_bytes", "offline_bytes",
+            "online_seconds", "offline_seconds", "online_ingest_seconds",
+            "online_bytes_analytic", "offline_bytes_analytic",
+        ])
+        for row in rows:
+            writer.writerow([
+                row.n_accesses, row.k, row.m,
+                row.online_bytes, row.offline_bytes,
+                f"{row.online_seconds:.6f}", f"{row.offline_seconds:.6f}",
+                f"{row.online_ingest_seconds:.6f}",
+                row.online_bytes_analytic, row.offline_bytes_analytic,
+            ])

@@ -1,0 +1,66 @@
+"""Render experiment results as the text tables the benchmarks print."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.experiment import FigureResult, Table2Row
+
+__all__ = ["format_figure", "format_table2", "format_bytes"]
+
+
+def format_bytes(n: int | float) -> str:
+    """Human-readable byte count."""
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_figure(result: FigureResult, precision: int = 1) -> str:
+    """One row per series, one column per x — like reading the figure."""
+    names = list(result.series)
+    xs = [p.x for p in result.series[names[0]]]
+    header_cells = [result.xlabel] + [_format_x(x) for x in xs]
+    widths = [max(len(h), 24) for h in header_cells[:1]] + [
+        max(len(h), 8) for h in header_cells[1:]
+    ]
+
+    lines = [result.name + f" — {result.ylabel}"]
+    lines.append(_row(header_cells, widths))
+    lines.append("-+-".join("-" * w for w in widths))
+    for name in names:
+        points = result.series[name]
+        cells = [name] + [f"{p.mean:.{precision}f}" for p in points]
+        lines.append(_row(cells, widths))
+    return "\n".join(lines)
+
+
+def _format_x(x: float) -> str:
+    return str(int(x)) if float(x).is_integer() else f"{x:g}"
+
+
+def _row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Online-vs-offline cost table (measured + analytic bandwidth)."""
+    header = (f"{'n accesses':>12} | {'online B':>12} | {'offline B':>12} | "
+              f"{'ratio':>8} | {'online s':>10} | {'offline s':>10}")
+    lines = [
+        f"Table II (k={rows[0].k}, m={rows[0].m}) — "
+        "bandwidth O(km) vs O(n); computation independent of n vs growing",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        ratio = row.offline_bytes / max(row.online_bytes, 1)
+        lines.append(
+            f"{row.n_accesses:>12,} | {format_bytes(row.online_bytes):>12} | "
+            f"{format_bytes(row.offline_bytes):>12} | {ratio:>7.0f}x | "
+            f"{row.online_seconds:>10.4f} | {row.offline_seconds:>10.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Command-line interface: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro figure1 [options]      # Figure 1 sweep
+    python -m repro figure2 [options]      # Figure 2 sweep (headline)
+    python -m repro figure3 [options]      # Figure 3 micro-cluster sweep
+    python -m repro table2  [options]      # Table II cost comparison
+    python -m repro coords  [options]      # coordinate-system ablation
+    python -m repro report  --out FILE     # full Markdown reproduction report
+    python -m repro matrix  --out FILE     # dump the synthetic RTT matrix
+
+Common options: ``--nodes`` ``--runs`` ``--coord-system`` ``--seed``
+``--candidate-mode`` scale the experiment; ``--csv FILE`` exports the
+series next to the printed table.  Defaults reproduce the paper's
+full-size setting (226 nodes, 30 runs, RNP coordinates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis import (
+    EvaluationSetting,
+    format_figure,
+    format_table2,
+    run_coord_ablation,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_table2,
+)
+from repro.analysis.charts import render_chart
+from repro.analysis.export import figure_to_csv, table2_to_csv
+from repro.analysis.reportgen import generate_report
+from repro.net import PlanetLabParams, save_matrix, synthetic_planetlab_matrix
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_setting_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=226,
+                        help="emulated nodes (paper: 226)")
+    parser.add_argument("--runs", type=int, default=30,
+                        help="runs per configuration (paper: 30)")
+    parser.add_argument("--coord-system", default="rnp",
+                        choices=("rnp", "vivaldi", "gnp", "mds"),
+                        help="network coordinate system")
+    parser.add_argument("--candidate-mode", default="dispersed",
+                        choices=("dispersed", "uniform"),
+                        help="how candidate data centers are drawn")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument("--csv", default=None, metavar="FILE",
+                        help="also export the result as CSV")
+    parser.add_argument("--chart", action="store_true",
+                        help="also draw an ASCII chart of the series")
+
+
+def _setting(args: argparse.Namespace) -> EvaluationSetting:
+    return EvaluationSetting(
+        n_nodes=args.nodes, n_runs=args.runs,
+        coord_system=args.coord_system,
+        candidate_mode=args.candidate_mode, seed=args.seed)
+
+
+def _figure_command(runner: Callable, **extra) -> Callable:
+    def command(args: argparse.Namespace) -> int:
+        result = runner(_setting(args), **extra)
+        print(format_figure(result))
+        if getattr(args, "chart", False):
+            print()
+            print(render_chart(result))
+        if args.csv:
+            figure_to_csv(result, args.csv)
+            print(f"\nwrote {args.csv}")
+        return 0
+    return command
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    result = run_figure3(_setting(args))
+    print(format_figure(result))
+    if getattr(args, "chart", False):
+        print()
+        print(render_chart(result))
+    if args.csv:
+        figure_to_csv(result, args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = run_table2(n_accesses_list=tuple(args.accesses), k=args.k,
+                      m=args.micro_clusters, seed=args.seed)
+    print(format_table2(rows))
+    if args.csv:
+        table2_to_csv(rows, args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_coords(args: argparse.Namespace) -> int:
+    result = run_coord_ablation(_setting(args))
+    print(format_figure(result))
+    if args.csv:
+        figure_to_csv(result, args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    report = generate_report(_setting(args))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    matrix, topology = synthetic_planetlab_matrix(
+        PlanetLabParams(n=args.nodes), seed=args.seed)
+    save_matrix(matrix, args.out)
+    print(f"wrote {matrix.n}x{matrix.n} RTT matrix to {args.out} "
+          f"(median {matrix.median():.1f} ms)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Towards Optimal Data Replication Across "
+                    "Data Centers' (ICDCS 2011)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("figure1", help="delay vs number of data centers")
+    _add_setting_args(p1)
+    p1.set_defaults(func=_figure_command(run_figure1))
+
+    p2 = sub.add_parser("figure2", help="delay vs degree of replication")
+    _add_setting_args(p2)
+    p2.set_defaults(func=_figure_command(run_figure2))
+
+    p3 = sub.add_parser("figure3", help="delay vs micro-cluster budget")
+    _add_setting_args(p3)
+    p3.set_defaults(func=_cmd_figure3)
+
+    pt = sub.add_parser("table2", help="online vs offline clustering cost")
+    pt.add_argument("--accesses", type=int, nargs="+",
+                    default=[1_000, 10_000, 100_000],
+                    help="access volumes to measure")
+    pt.add_argument("--k", type=int, default=3, help="degree of replication")
+    pt.add_argument("--micro-clusters", type=int, default=100,
+                    help="micro-clusters per replica (paper example: 100)")
+    pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument("--csv", default=None, metavar="FILE")
+    pt.set_defaults(func=_cmd_table2)
+
+    pc = sub.add_parser("coords", help="coordinate-system ablation")
+    _add_setting_args(pc)
+    pc.set_defaults(func=_cmd_coords)
+
+    pr = sub.add_parser("report",
+                        help="full reproduction report (all artifacts)")
+    _add_setting_args(pr)
+    pr.add_argument("--out", default=None, metavar="FILE",
+                    help="write the Markdown report here (default: stdout)")
+    pr.set_defaults(func=_cmd_report)
+
+    pm = sub.add_parser("matrix", help="dump the synthetic RTT matrix")
+    pm.add_argument("--nodes", type=int, default=226)
+    pm.add_argument("--seed", type=int, default=0)
+    pm.add_argument("--out", required=True, metavar="FILE",
+                    help=".npz or text destination")
+    pm.set_defaults(func=_cmd_matrix)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Clustering primitives: weighted k-means and streaming micro-clusters.
+
+The paper's placement algorithm is built from two clustering layers
+(Section III-B/C):
+
+* an **online** layer at each replica server that folds every data access
+  into at most *m* micro-clusters — implemented by
+  :class:`OnlineClusterer` over :class:`ClusterFeature` vectors;
+* a periodic **weighted k-means** over the collected micro-clusters,
+  treating each as a pseudo-point at its centroid — implemented by
+  :func:`weighted_kmeans` (Lloyd's algorithm with weighted k-means++
+  seeding).
+"""
+
+from repro.clustering.kmeans import KMeansResult, kmeans_pp_init, weighted_kmeans
+from repro.clustering.stream import ClusterFeature, OnlineClusterer
+
+__all__ = [
+    "KMeansResult",
+    "kmeans_pp_init",
+    "weighted_kmeans",
+    "ClusterFeature",
+    "OnlineClusterer",
+]

@@ -1,0 +1,54 @@
+"""Network coordinate systems (Section III-A of the paper).
+
+A network coordinate system embeds nodes into a low-dimensional space so
+that coordinate distance predicts round-trip time.  The paper's placement
+algorithm treats users as points in such a space and clusters them; it
+uses the authors' RNP system, a retrospective refinement of Vivaldi.
+
+This package implements:
+
+* :class:`EuclideanSpace` — the coordinate space (optionally with Vivaldi
+  "height" vectors to model access-link delay);
+* :class:`VivaldiNode` — the decentralized spring-relaxation algorithm of
+  Dabek et al. (SIGCOMM 2004);
+* :class:`RNPNode` — retrospective network positioning: a sliding window
+  of weighted measurements is periodically re-fit, improving accuracy and
+  stability over plain Vivaldi (see DESIGN.md for the substitution note);
+* :func:`embed_landmarks` / :func:`place_with_landmarks` — GNP-style
+  landmark embedding (Ng & Zhang, INFOCOM 2002);
+* :func:`embed_matrix` — a batch driver that runs gossip rounds over a
+  :class:`~repro.net.latency.LatencyMatrix` and returns the coordinates;
+* error metrics (relative error, stress, closest-selection accuracy).
+"""
+
+from repro.coords.space import EuclideanSpace
+from repro.coords.vivaldi import VivaldiNode
+from repro.coords.rnp import RNPNode
+from repro.coords.gnp import embed_landmarks, place_with_landmarks, gnp_embed
+from repro.coords.embedding import EmbeddingResult, embed_matrix, classical_mds
+from repro.coords.metrics import (
+    absolute_errors,
+    closest_selection_accuracy,
+    median_absolute_error,
+    relative_errors,
+    selection_penalty_ms,
+    stress,
+)
+
+__all__ = [
+    "EuclideanSpace",
+    "VivaldiNode",
+    "RNPNode",
+    "embed_landmarks",
+    "place_with_landmarks",
+    "gnp_embed",
+    "EmbeddingResult",
+    "embed_matrix",
+    "classical_mds",
+    "absolute_errors",
+    "relative_errors",
+    "median_absolute_error",
+    "stress",
+    "closest_selection_accuracy",
+    "selection_penalty_ms",
+]

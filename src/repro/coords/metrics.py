@@ -1,0 +1,110 @@
+"""Accuracy metrics for coordinate embeddings.
+
+The placement algorithm only needs coordinates to (a) cluster users by
+network proximity and (b) let a user pick its lowest-latency replica.
+These metrics quantify both: pairwise prediction error for (a) and
+closest-selection accuracy for (b) — the property Section III-A of the
+paper highlights ("predict the closest replica with a high accuracy").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.coords.space import EuclideanSpace
+from repro.net.latency import LatencyMatrix
+
+__all__ = [
+    "relative_errors",
+    "absolute_errors",
+    "median_absolute_error",
+    "stress",
+    "closest_selection_accuracy",
+    "selection_penalty_ms",
+]
+
+
+def _predicted(matrix: LatencyMatrix, coords: np.ndarray, space: EuclideanSpace
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """(predicted, actual) pair vectors over the upper triangle."""
+    pred = space.pairwise_distances(np.asarray(coords, dtype=float))
+    iu = np.triu_indices(matrix.n, k=1)
+    return pred[iu], matrix.rtt[iu]
+
+
+def absolute_errors(matrix: LatencyMatrix, coords: np.ndarray,
+                    space: EuclideanSpace) -> np.ndarray:
+    """Per-pair ``|predicted - actual|`` in milliseconds."""
+    pred, actual = _predicted(matrix, coords, space)
+    return np.abs(pred - actual)
+
+
+def relative_errors(matrix: LatencyMatrix, coords: np.ndarray,
+                    space: EuclideanSpace) -> np.ndarray:
+    """Per-pair ``|predicted - actual| / actual`` (Vivaldi's metric)."""
+    pred, actual = _predicted(matrix, coords, space)
+    return np.abs(pred - actual) / np.maximum(actual, 1e-9)
+
+
+def median_absolute_error(matrix: LatencyMatrix, coords: np.ndarray,
+                          space: EuclideanSpace) -> float:
+    """Median absolute prediction error in milliseconds.
+
+    RNP's published contract is a median below ~10 ms on PlanetLab.
+    """
+    return float(np.median(absolute_errors(matrix, coords, space)))
+
+
+def stress(matrix: LatencyMatrix, coords: np.ndarray, space: EuclideanSpace) -> float:
+    """Kruskal stress-1 of the embedding (0 is a perfect fit)."""
+    pred, actual = _predicted(matrix, coords, space)
+    denom = float(np.sum(actual * actual))
+    if denom == 0:
+        return 0.0
+    return float(np.sqrt(np.sum((pred - actual) ** 2) / denom))
+
+
+def closest_selection_accuracy(matrix: LatencyMatrix, coords: np.ndarray,
+                               space: EuclideanSpace,
+                               clients: Sequence[int],
+                               candidates: Sequence[int]) -> float:
+    """Fraction of clients whose predicted-closest candidate is truly closest.
+
+    This is the operation users perform in the paper: given replica
+    locations (``candidates``), choose where to fetch from using only
+    coordinates.
+    """
+    clients = list(clients)
+    candidates = list(candidates)
+    if not clients or not candidates:
+        raise ValueError("clients and candidates must be non-empty")
+    coords = np.asarray(coords, dtype=float)
+    pred = space.cross_distances(coords[clients], coords[candidates])
+    true = matrix.rows(clients, candidates)
+    predicted_choice = np.argmin(pred, axis=1)
+    # A prediction is correct when the chosen candidate attains the true
+    # minimum (ties count as correct).
+    chosen_true = true[np.arange(len(clients)), predicted_choice]
+    best_true = true.min(axis=1)
+    return float(np.mean(np.isclose(chosen_true, best_true)))
+
+
+def selection_penalty_ms(matrix: LatencyMatrix, coords: np.ndarray,
+                         space: EuclideanSpace,
+                         clients: Sequence[int],
+                         candidates: Sequence[int]) -> float:
+    """Mean extra latency from trusting coordinates for replica selection.
+
+    Zero when every client's coordinate-predicted choice is also its
+    true-latency optimum.
+    """
+    clients = list(clients)
+    candidates = list(candidates)
+    coords = np.asarray(coords, dtype=float)
+    pred = space.cross_distances(coords[clients], coords[candidates])
+    true = matrix.rows(clients, candidates)
+    predicted_choice = np.argmin(pred, axis=1)
+    chosen_true = true[np.arange(len(clients)), predicted_choice]
+    return float(np.mean(chosen_true - true.min(axis=1)))

@@ -1,0 +1,86 @@
+"""Vivaldi: decentralized network coordinates (Dabek et al., SIGCOMM 2004).
+
+Each node maintains a coordinate and a confidence estimate.  On every
+measurement to a remote node it nudges its coordinate along the spring
+force between the two points, with a step size that shrinks as the node
+becomes confident and grows when the remote node is confident.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coords.space import EuclideanSpace
+
+__all__ = ["VivaldiNode"]
+
+
+class VivaldiNode:
+    """One node running the adaptive-timestep Vivaldi algorithm.
+
+    Parameters
+    ----------
+    space:
+        Coordinate space shared by all nodes.
+    cc:
+        Tuning constant for the coordinate timestep (paper value 0.25).
+    ce:
+        Tuning constant for the error estimate update (paper value 0.25).
+    rng:
+        Randomness used only to break ties when points coincide and for
+        the initial coordinate.
+    """
+
+    def __init__(self, space: EuclideanSpace, cc: float = 0.25, ce: float = 0.25,
+                 rng: np.random.Generator | None = None) -> None:
+        if not 0 < cc <= 1 or not 0 < ce <= 1:
+            raise ValueError("cc and ce must lie in (0, 1]")
+        self.space = space
+        self.cc = cc
+        self.ce = ce
+        self._rng = rng or np.random.default_rng(0)
+        # Starting all nodes at the origin is valid Vivaldi (forces are
+        # randomized when points coincide) but a tiny random start
+        # converges faster in batch simulation.
+        self.coords = space.random_point(self._rng, scale=1e-3)
+        #: Relative error estimate in [0, max]; 1.0 means "no idea yet".
+        self.error = 1.0
+        self.updates = 0
+
+    def update(self, remote_coords: np.ndarray, remote_error: float, rtt: float) -> None:
+        """Incorporate one RTT measurement to a remote node.
+
+        Parameters
+        ----------
+        remote_coords:
+            The remote node's current coordinates.
+        remote_error:
+            The remote node's confidence (its ``error`` attribute).
+        rtt:
+            Measured round-trip time in milliseconds (must be positive).
+        """
+        if rtt <= 0:
+            raise ValueError("RTT must be positive")
+        remote_coords = np.asarray(remote_coords, dtype=float)
+        predicted = self.space.distance(self.coords, remote_coords)
+
+        # Weight: balance of local vs remote confidence.
+        denom = self.error + remote_error
+        w = self.error / denom if denom > 0 else 0.5
+
+        # Update the error estimate with an EWMA weighted by confidence.
+        sample_error = abs(predicted - rtt) / rtt
+        self.error = sample_error * self.ce * w + self.error * (1.0 - self.ce * w)
+        self.error = float(min(self.error, 2.0))
+
+        # Move along the spring force.
+        delta = self.cc * w
+        direction = self.space.unit_direction(self.coords, remote_coords, self._rng)
+        self.coords = self.space.clamp(
+            self.coords + delta * (rtt - predicted) * direction
+        )
+        self.updates += 1
+
+    def predicted_rtt(self, remote_coords: np.ndarray) -> float:
+        """Predict the RTT to a node at ``remote_coords``."""
+        return self.space.distance(self.coords, remote_coords)

@@ -1,0 +1,37 @@
+"""Network substrate: round-trip-time matrices and wide-area topologies.
+
+The placement algorithms in :mod:`repro` consume nothing from the network
+but a pairwise round-trip-time (RTT) matrix over a set of nodes.  The paper
+evaluated on RTTs measured between 226 PlanetLab hosts; this package
+provides (a) the :class:`LatencyMatrix` abstraction those algorithms use,
+(b) a seeded synthetic generator that reproduces PlanetLab's qualitative
+structure (:func:`synthetic_planetlab_matrix`), and (c) loaders/savers for
+externally measured matrices.
+"""
+
+from repro.net.latency import LatencyMatrix
+from repro.net.topology import GeoTopology, Region, WORLD_REGIONS, great_circle_km
+from repro.net.planetlab import PlanetLabParams, synthetic_planetlab_matrix
+from repro.net.bandwidth import (
+    BandwidthModel,
+    LatencyCorrelatedBandwidth,
+    LatencyOnlyBandwidth,
+    UniformBandwidth,
+)
+from repro.net.io import load_matrix, save_matrix
+
+__all__ = [
+    "LatencyMatrix",
+    "GeoTopology",
+    "Region",
+    "WORLD_REGIONS",
+    "great_circle_km",
+    "PlanetLabParams",
+    "synthetic_planetlab_matrix",
+    "load_matrix",
+    "save_matrix",
+    "BandwidthModel",
+    "LatencyOnlyBandwidth",
+    "UniformBandwidth",
+    "LatencyCorrelatedBandwidth",
+]

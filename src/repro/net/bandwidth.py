@@ -1,0 +1,95 @@
+"""Bandwidth models: how long payload bytes take on a wide-area path.
+
+The simulator's default is latency-only delivery (message size never
+affects timing), which matches the paper's evaluation — it measures
+pure access *latency*.  For the migration and large-object scenarios a
+transfer's serialization time matters, so :class:`~repro.sim.node.Network`
+accepts a bandwidth model that adds ``size / bandwidth`` to the one-way
+delay.
+
+The paper motivates co-placing replicas near users partly because
+"low-latency network connections tend to have high bandwidth" (its
+references [7], [8]); :class:`LatencyCorrelatedBandwidth` encodes exactly
+that inverse relation, and :class:`UniformBandwidth` provides the flat
+alternative.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "BandwidthModel",
+    "LatencyOnlyBandwidth",
+    "UniformBandwidth",
+    "LatencyCorrelatedBandwidth",
+]
+
+
+class BandwidthModel(ABC):
+    """Maps (endpoint pair, payload size) to serialization delay."""
+
+    @abstractmethod
+    def transfer_ms(self, rtt_ms: float, size_bytes: int) -> float:
+        """Extra delivery delay in ms for ``size_bytes`` on this path."""
+
+
+class LatencyOnlyBandwidth(BandwidthModel):
+    """Infinite bandwidth: message size never affects timing (default)."""
+
+    def transfer_ms(self, rtt_ms: float, size_bytes: int) -> float:
+        return 0.0
+
+
+class UniformBandwidth(BandwidthModel):
+    """Every path carries the same bandwidth.
+
+    Parameters
+    ----------
+    mbps:
+        Path bandwidth in megabits per second.
+    """
+
+    def __init__(self, mbps: float) -> None:
+        if mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.mbps = mbps
+
+    def transfer_ms(self, rtt_ms: float, size_bytes: int) -> float:
+        if size_bytes <= 0:
+            return 0.0
+        bits = size_bytes * 8.0
+        return bits / (self.mbps * 1e6) * 1e3
+
+
+class LatencyCorrelatedBandwidth(BandwidthModel):
+    """Bandwidth falls with path RTT (the paper's [7]/[8] observation).
+
+    ``bandwidth(rtt) = peak_mbps / (1 + rtt / reference_rtt_ms)`` —
+    a nearby pair gets close to ``peak_mbps``; a pair at the reference
+    RTT gets half of it; intercontinental paths proportionally less.
+    This is the classic TCP-throughput-vs-RTT shape without modelling
+    loss explicitly.
+    """
+
+    def __init__(self, peak_mbps: float = 1_000.0,
+                 reference_rtt_ms: float = 50.0,
+                 floor_mbps: float = 10.0) -> None:
+        if peak_mbps <= 0 or reference_rtt_ms <= 0 or floor_mbps <= 0:
+            raise ValueError("bandwidth parameters must be positive")
+        if floor_mbps > peak_mbps:
+            raise ValueError("floor cannot exceed peak bandwidth")
+        self.peak_mbps = peak_mbps
+        self.reference_rtt_ms = reference_rtt_ms
+        self.floor_mbps = floor_mbps
+
+    def bandwidth_mbps(self, rtt_ms: float) -> float:
+        """Effective path bandwidth for a given RTT."""
+        value = self.peak_mbps / (1.0 + max(rtt_ms, 0.0) / self.reference_rtt_ms)
+        return max(value, self.floor_mbps)
+
+    def transfer_ms(self, rtt_ms: float, size_bytes: int) -> float:
+        if size_bytes <= 0:
+            return 0.0
+        bits = size_bytes * 8.0
+        return bits / (self.bandwidth_mbps(rtt_ms) * 1e6) * 1e3

@@ -1,0 +1,73 @@
+"""Load and save RTT matrices.
+
+Two on-disk formats are supported:
+
+* **npz** — ``numpy.savez`` with keys ``rtt`` and (optionally) ``names``;
+  lossless and preferred.
+* **text** — whitespace-separated rows of milliseconds, the format used by
+  the public King / PlanetLab "network coordinates" dumps; ``-1`` or
+  ``nan`` entries mark unmeasured pairs and are patched symmetrically
+  (falling back to the matrix median when both directions are missing).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.net.latency import LatencyMatrix
+
+__all__ = ["load_matrix", "save_matrix"]
+
+
+def save_matrix(matrix: LatencyMatrix, path: str) -> None:
+    """Persist ``matrix`` to ``path`` (.npz or text by extension)."""
+    if path.endswith(".npz"):
+        np.savez_compressed(path, rtt=matrix.rtt, names=np.array(matrix.names))
+        return
+    np.savetxt(path, matrix.rtt, fmt="%.4f")
+
+
+def load_matrix(path: str, names: Sequence[str] | None = None) -> LatencyMatrix:
+    """Load an RTT matrix from ``path`` (.npz or whitespace text)."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    if path.endswith(".npz"):
+        with np.load(path, allow_pickle=False) as data:
+            rtt = np.asarray(data["rtt"], dtype=float)
+            if names is None and "names" in data:
+                names = [str(x) for x in data["names"]]
+    else:
+        rtt = np.loadtxt(path, dtype=float)
+    rtt = _clean(rtt)
+    return LatencyMatrix(rtt, tuple(names) if names else ())
+
+
+def _clean(rtt: np.ndarray) -> np.ndarray:
+    """Symmetrize and patch missing entries of a raw measurement matrix."""
+    rtt = np.array(rtt, dtype=float)
+    if rtt.ndim != 2 or rtt.shape[0] != rtt.shape[1]:
+        raise ValueError(f"matrix file must be square, got {rtt.shape}")
+    missing = ~np.isfinite(rtt) | (rtt < 0)
+    rtt[missing] = np.nan
+
+    # Use the reverse direction when only one direction was measured.
+    reverse = rtt.T.copy()
+    take_reverse = np.isnan(rtt) & ~np.isnan(reverse)
+    rtt[take_reverse] = reverse[take_reverse]
+
+    # Average asymmetric measurements.
+    rtt = np.where(
+        np.isnan(rtt) | np.isnan(rtt.T), rtt, (rtt + rtt.T) / 2.0
+    )
+
+    # Whatever is still missing gets the median off-diagonal measurement.
+    off_diagonal = ~np.eye(rtt.shape[0], dtype=bool)
+    finite = rtt[off_diagonal & np.isfinite(rtt)]
+    if finite.size == 0:
+        raise ValueError("matrix contains no finite measurements")
+    rtt[np.isnan(rtt)] = float(np.median(finite))
+    np.fill_diagonal(rtt, 0.0)
+    return rtt

@@ -1,0 +1,178 @@
+"""Synthetic PlanetLab-style RTT matrices.
+
+The paper drives its simulator with RTTs measured between 226 PlanetLab
+hosts (its reference [24], the Harvard "network coordinates" dataset).
+That snapshot is not redistributable here, so this module synthesizes a
+matrix with the same qualitative properties the placement algorithms
+depend on:
+
+* nodes cluster geographically (continental blobs, North America and
+  Europe dense) — see :mod:`repro.net.topology`;
+* RTT grows with great-circle distance at roughly the speed of light in
+  fibre, inflated by routing indirection;
+* every path carries access-link and intra-site overhead, so nearby pairs
+  still see a few milliseconds;
+* pairwise jitter is log-normal, producing the heavy right tail measured
+  on PlanetLab;
+* a controlled fraction of pairs is detoured (multiplied by an inflation
+  factor), creating triangle-inequality violations.
+
+All randomness flows through one :class:`numpy.random.Generator`, so a
+seed fully determines the matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.net.latency import LatencyMatrix
+from repro.net.topology import GeoTopology, Region, WORLD_REGIONS
+
+__all__ = ["PlanetLabParams", "synthetic_planetlab_matrix"]
+
+#: Speed of light in fibre, km per millisecond.
+FIBRE_KM_PER_MS = 200.0
+
+
+@dataclass(frozen=True)
+class PlanetLabParams:
+    """Tunables for the synthetic PlanetLab matrix.
+
+    The defaults target the published shape of the 226-host dataset:
+    median pairwise RTT near 80–120 ms, intra-continent pairs in the
+    10–40 ms range, trans-Pacific pairs above 150 ms, and a small but
+    non-zero triangle-inequality-violation rate.
+    """
+
+    n: int = 226
+    regions: Sequence[Region] = WORLD_REGIONS
+    #: Multiplier on great-circle propagation delay to model routing
+    #: indirection (paths are never great-circle straight).
+    path_stretch: float = 1.6
+    #: Minimum per-pair overhead (access links, last mile), milliseconds.
+    access_overhead_ms: float = 4.0
+    #: Sigma of the log-normal noise multiplier applied per pair.
+    jitter_sigma: float = 0.18
+    #: Fraction of pairs routed over a detour.
+    detour_fraction: float = 0.05
+    #: RTT multiplier applied to detoured pairs.
+    detour_inflation: float = 1.9
+    #: Per-node additive overhead is sampled uniformly from this range
+    #: (models slow access links of individual hosts), milliseconds.
+    node_overhead_range: tuple[float, float] = (0.0, 6.0)
+    #: Fraction of hosts that are *congested* — overloaded PlanetLab
+    #: nodes whose every path carries a large extra delay.  This heavy
+    #: tail is well documented for the platform and matters for the
+    #: placement problem: informed strategies route around congested
+    #: hosts, random placement cannot.
+    congested_fraction: float = 0.12
+    #: Extra per-node overhead of a congested host, sampled uniformly
+    #: from this range (milliseconds).
+    congested_overhead_range: tuple[float, float] = (40.0, 180.0)
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("need at least two nodes")
+        if self.path_stretch < 1.0:
+            raise ValueError("path stretch cannot shrink distances")
+        if not 0.0 <= self.detour_fraction <= 1.0:
+            raise ValueError("detour fraction must lie in [0, 1]")
+        if self.detour_inflation < 1.0:
+            raise ValueError("detours only inflate RTT")
+        lo, hi = self.node_overhead_range
+        if lo < 0 or hi < lo:
+            raise ValueError("invalid node overhead range")
+        if not 0.0 <= self.congested_fraction <= 1.0:
+            raise ValueError("congested fraction must lie in [0, 1]")
+        clo, chi = self.congested_overhead_range
+        if clo < 0 or chi < clo:
+            raise ValueError("invalid congested overhead range")
+
+
+def synthetic_planetlab_matrix(
+    params: PlanetLabParams | None = None,
+    *,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    topology: GeoTopology | None = None,
+) -> tuple[LatencyMatrix, GeoTopology]:
+    """Generate a seeded PlanetLab-like RTT matrix.
+
+    Parameters
+    ----------
+    params:
+        Generation tunables; defaults reproduce the 226-node setting.
+    seed / rng:
+        Provide either a seed or a generator; ``seed`` wins if both given.
+    topology:
+        Reuse an existing :class:`GeoTopology` instead of sampling one
+        (its size must match ``params.n``).
+
+    Returns
+    -------
+    (matrix, topology):
+        The RTT matrix and the geographic layout that produced it.
+    """
+    params = params or PlanetLabParams()
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+    rng = rng or np.random.default_rng(0)
+
+    if topology is None:
+        topology = GeoTopology(params.n, params.regions, rng=rng)
+    elif topology.n != params.n:
+        raise ValueError(
+            f"topology has {topology.n} nodes but params.n={params.n}"
+        )
+
+    n = params.n
+    dist_km = topology.distance_km()
+    base = (dist_km / FIBRE_KM_PER_MS) * params.path_stretch
+
+    # Per-node additive overhead, applied to both endpoints of a pair.
+    lo, hi = params.node_overhead_range
+    node_overhead = rng.uniform(lo, hi, size=n)
+    # Congested hosts: a heavy per-node tail on every path they join.
+    if params.congested_fraction > 0:
+        n_congested = int(round(params.congested_fraction * n))
+        congested = rng.choice(n, size=n_congested, replace=False)
+        clo, chi = params.congested_overhead_range
+        node_overhead[congested] += rng.uniform(clo, chi, size=n_congested)
+    overhead = params.access_overhead_ms + node_overhead[:, None] + node_overhead[None, :]
+
+    # Log-normal multiplicative jitter, symmetric per pair.
+    jitter = rng.lognormal(mean=0.0, sigma=params.jitter_sigma, size=(n, n))
+    jitter = np.triu(jitter, k=1)
+    jitter = jitter + jitter.T
+
+    rtt = (base + overhead) * np.where(jitter > 0, jitter, 1.0)
+
+    # Detoured pairs: inflate a random subset of the upper triangle.
+    iu = np.triu_indices(n, k=1)
+    n_pairs = iu[0].size
+    n_detours = int(round(params.detour_fraction * n_pairs))
+    if n_detours > 0:
+        picks = rng.choice(n_pairs, size=n_detours, replace=False)
+        det = np.ones(n_pairs)
+        det[picks] = params.detour_inflation
+        detour = np.zeros((n, n))
+        detour[iu] = det
+        detour = detour + detour.T
+        np.fill_diagonal(detour, 1.0)
+        rtt = rtt * detour
+
+    np.fill_diagonal(rtt, 0.0)
+    names = tuple(
+        f"{topology.region_name(i)}-{i:03d}" for i in range(n)
+    )
+    return LatencyMatrix(rtt, names), topology
+
+
+def small_matrix(n: int = 30, seed: int = 0) -> LatencyMatrix:
+    """Convenience: a small seeded matrix for tests and examples."""
+    params = PlanetLabParams(n=n)
+    matrix, _ = synthetic_planetlab_matrix(params, seed=seed)
+    return matrix

@@ -1,0 +1,135 @@
+"""Geographic node placement for synthetic wide-area topologies.
+
+PlanetLab hosts cluster around research institutions on a handful of
+continents.  :class:`GeoTopology` reproduces that structure: nodes are
+drawn from weighted :class:`Region` blobs on the globe (Gaussian spread in
+latitude/longitude around a regional center), and great-circle distances
+between them drive baseline propagation delay in
+:mod:`repro.net.planetlab`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Region", "WORLD_REGIONS", "GeoTopology", "great_circle_km"]
+
+EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class Region:
+    """A geographic blob from which node locations are sampled.
+
+    ``weight`` is the relative share of nodes the region receives and
+    ``spread_deg`` the standard deviation (degrees) of the Gaussian blob.
+    """
+
+    name: str
+    lat: float
+    lon: float
+    weight: float
+    spread_deg: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+        if self.weight <= 0:
+            raise ValueError("region weight must be positive")
+        if self.spread_deg <= 0:
+            raise ValueError("region spread must be positive")
+
+
+#: Default region mix, mirroring the PlanetLab deployment of the era:
+#: dense in North America and Europe, present in East Asia, sparse in
+#: South America and Oceania.
+WORLD_REGIONS: tuple[Region, ...] = (
+    Region("us-east", 40.7, -74.0, weight=0.24, spread_deg=5.0),
+    Region("us-west", 37.4, -122.1, weight=0.14, spread_deg=4.0),
+    Region("us-central", 41.9, -87.6, weight=0.08, spread_deg=4.0),
+    Region("eu-west", 48.9, 2.4, weight=0.18, spread_deg=5.0),
+    Region("eu-central", 52.5, 13.4, weight=0.10, spread_deg=4.0),
+    Region("asia-east", 35.7, 139.7, weight=0.10, spread_deg=5.0),
+    Region("asia-south", 1.35, 103.8, weight=0.06, spread_deg=4.0),
+    Region("south-america", -23.5, -46.6, weight=0.05, spread_deg=4.0),
+    Region("oceania", -33.9, 151.2, weight=0.05, spread_deg=3.0),
+)
+
+
+def great_circle_km(lat1: np.ndarray, lon1: np.ndarray,
+                    lat2: np.ndarray, lon2: np.ndarray) -> np.ndarray:
+    """Great-circle distance in kilometres (haversine; vectorised)."""
+    p1, p2 = np.radians(lat1), np.radians(lat2)
+    dphi = p2 - p1
+    dlam = np.radians(lon2) - np.radians(lon1)
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(p1) * np.cos(p2) * np.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+
+
+class GeoTopology:
+    """A set of nodes with geographic coordinates drawn from regions.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes to place.
+    regions:
+        Weighted regions to sample from; defaults to :data:`WORLD_REGIONS`.
+    rng:
+        Source of randomness; required for reproducibility.
+    """
+
+    def __init__(self, n: int, regions: Sequence[Region] = WORLD_REGIONS,
+                 rng: np.random.Generator | None = None) -> None:
+        if n <= 0:
+            raise ValueError("topology needs at least one node")
+        if not regions:
+            raise ValueError("at least one region required")
+        rng = rng or np.random.default_rng(0)
+        self.regions = tuple(regions)
+
+        weights = np.array([r.weight for r in self.regions], dtype=float)
+        weights /= weights.sum()
+        assignment = rng.choice(len(self.regions), size=n, p=weights)
+
+        lats = np.empty(n)
+        lons = np.empty(n)
+        for i, ridx in enumerate(assignment):
+            region = self.regions[ridx]
+            lats[i] = np.clip(
+                rng.normal(region.lat, region.spread_deg), -89.9, 89.9
+            )
+            lon = rng.normal(region.lon, region.spread_deg)
+            lons[i] = (lon + 180.0) % 360.0 - 180.0
+
+        self.lat = lats
+        self.lon = lons
+        self.region_of = np.asarray(assignment, dtype=int)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes in the topology."""
+        return self.lat.size
+
+    def region_name(self, node: int) -> str:
+        """Name of the region node ``node`` was drawn from."""
+        return self.regions[self.region_of[node]].name
+
+    def distance_km(self) -> np.ndarray:
+        """Pairwise great-circle distance matrix in kilometres."""
+        lat1 = self.lat[:, None]
+        lon1 = self.lon[:, None]
+        lat2 = self.lat[None, :]
+        lon2 = self.lon[None, :]
+        d = great_circle_km(lat1, lon1, lat2, lon2)
+        np.fill_diagonal(d, 0.0)
+        return d
+
+    def same_region(self) -> np.ndarray:
+        """Boolean matrix: True where two nodes share a region."""
+        return self.region_of[:, None] == self.region_of[None, :]

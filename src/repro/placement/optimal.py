@@ -1,0 +1,75 @@
+"""Optimal placement by exhaustive search (the paper's oracle).
+
+Enumerates every ``C(|candidates|, k)`` combination, computes the true
+average access delay of each on the RTT matrix, and returns the best.
+"Impractical" in deployment (it needs every client's latency to every
+candidate) but exact — the paper includes it purely as the yardstick the
+other strategies are measured against.
+
+The scan is vectorised: the ``clients × candidates`` RTT block is built
+once and each combination is a column-subset ``min``; the paper's scales
+(C(30, 3) = 4 060, C(20, 7) = 77 520) take well under a second.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, islice as itertools_islice
+
+import numpy as np
+
+from repro.placement.base import PlacementProblem, PlacementStrategy
+
+__all__ = ["OptimalPlacement"]
+
+
+class OptimalPlacement(PlacementStrategy):
+    """Exhaustive minimisation of the true average access delay.
+
+    Parameters
+    ----------
+    max_combinations:
+        Safety valve: refuse instances whose search space exceeds this
+        (the benchmark sizes stay far below the default).
+    """
+
+    name = "optimal"
+
+    def __init__(self, max_combinations: int = 5_000_000) -> None:
+        self.max_combinations = max_combinations
+
+    def place(self, problem: PlacementProblem,
+              rng: np.random.Generator) -> tuple[int, ...]:
+        k = problem.effective_k
+        n_candidates = len(problem.candidates)
+        space_size = _n_combinations(n_candidates, k)
+        if space_size > self.max_combinations:
+            raise ValueError(
+                f"search space C({n_candidates},{k}) = {space_size} exceeds "
+                f"max_combinations={self.max_combinations}"
+            )
+
+        block = problem.matrix.rows(problem.clients, problem.candidates)
+        best_positions: tuple[int, ...] | None = None
+        best_total = np.inf
+        # Chunked vectorised scan: gather (clients, chunk, k) RTTs, take
+        # the per-client min over the k columns, sum over clients.
+        chunk_size = max(1, 4_000_000 // (block.shape[0] * k))
+        combo_iter = combinations(range(n_candidates), k)
+        while True:
+            chunk = list(itertools_islice(combo_iter, chunk_size))
+            if not chunk:
+                break
+            idx = np.array(chunk, dtype=int)          # (c, k)
+            totals = block[:, idx].min(axis=2).sum(axis=0)
+            pos = int(np.argmin(totals))
+            if totals[pos] < best_total:
+                best_total = float(totals[pos])
+                best_positions = tuple(int(x) for x in idx[pos])
+        assert best_positions is not None
+        sites = [problem.candidates[p] for p in best_positions]
+        return self._check(problem, sites)
+
+
+def _n_combinations(n: int, k: int) -> int:
+    from math import comb
+    return comb(n, k)

@@ -1,0 +1,27 @@
+"""Random placement: the paper's uninformed baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.placement.base import PlacementProblem, PlacementStrategy
+
+__all__ = ["RandomPlacement"]
+
+
+class RandomPlacement(PlacementStrategy):
+    """Pick ``k`` candidate data centers uniformly at random.
+
+    This is what storage systems that ignore the placement problem
+    effectively do; the paper's headline result is a ≥ 35 % latency
+    reduction over it.
+    """
+
+    name = "random"
+
+    def place(self, problem: PlacementProblem,
+              rng: np.random.Generator) -> tuple[int, ...]:
+        chosen = rng.choice(len(problem.candidates), size=problem.effective_k,
+                            replace=False)
+        sites = [problem.candidates[int(i)] for i in chosen]
+        return self._check(problem, sites)

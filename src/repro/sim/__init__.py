@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates with an event-based simulator that emulates
+communication between nodes using measured PlanetLab RTTs.  This package
+is that substrate: a heap-driven event loop (:class:`Simulator`), nodes
+that exchange latency-delayed messages (:class:`Node`,
+:class:`Network`), and periodic processes (:class:`PeriodicProcess`)
+used for gossip, access workloads and placement epochs.
+
+Simulated time is in **milliseconds** to match RTT units.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.simulator import Simulator
+from repro.sim.node import Message, Network, Node
+from repro.sim.process import PeriodicProcess
+from repro.sim.failures import FailureEvent, FailureInjector
+from repro.sim.gossip import CoordinateGossip
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Message",
+    "Network",
+    "Node",
+    "PeriodicProcess",
+    "FailureEvent",
+    "FailureInjector",
+    "CoordinateGossip",
+]

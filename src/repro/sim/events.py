@@ -1,0 +1,77 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, seq)``: two events scheduled for the same
+instant fire in scheduling order, which makes runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering compares ``time`` then ``seq``; the callback itself never
+    participates in comparisons.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False, hash=False)
+
+    def fire(self) -> None:
+        """Invoke the callback (no-op when cancelled)."""
+        if not object.__getattribute__(self, "cancelled"):
+            self.callback(*self.args)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing when popped."""
+        object.__setattr__(self, "cancelled", True)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, callback: Callable[..., Any],
+             args: tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` at simulated ``time``."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (cancelled ones included)."""
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        """Time of the earliest event."""
+        if not self._heap:
+            raise IndexError("peek on empty event queue")
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

@@ -1,0 +1,124 @@
+"""Failure injection: crash-stop nodes and bring them back.
+
+The paper defers "data availability" to future work; this module builds
+the substrate for it.  A :class:`FailureInjector` marks nodes of a
+:class:`~repro.sim.node.Network` as down — messages to or from a down
+node are silently dropped, exactly the symptom a wide-area system
+observes — and schedules recoveries, either explicitly or as a random
+crash/repair process.  Layers above (the store's availability monitor,
+client read retries) react to the symptoms, never to the injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.sim.node import Network
+from repro.sim.simulator import Simulator
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One recorded transition for the failure timeline."""
+
+    time: float
+    node: int
+    kind: str  # "crash" or "recover"
+
+
+class FailureInjector:
+    """Crash and recover nodes on a network.
+
+    Parameters
+    ----------
+    network:
+        The fabric whose deliveries are affected.
+    on_crash / on_recover:
+        Optional hooks ``(node_id) -> None`` fired at transition time
+        (the store uses them to refresh replica availability promptly;
+        without hooks it discovers failures at its next monitor tick).
+    """
+
+    def __init__(self, network: Network,
+                 on_crash: Callable[[int], None] | None = None,
+                 on_recover: Callable[[int], None] | None = None) -> None:
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.on_crash = on_crash
+        self.on_recover = on_recover
+        self.timeline: list[FailureEvent] = []
+
+    # ------------------------------------------------------------------
+    # Explicit schedule
+    # ------------------------------------------------------------------
+    def crash_at(self, time: float, node: int) -> None:
+        """Crash ``node`` at absolute simulated ``time``."""
+        self.sim.schedule_at(time, self._crash, node)
+
+    def recover_at(self, time: float, node: int) -> None:
+        """Recover ``node`` at absolute simulated ``time``."""
+        self.sim.schedule_at(time, self._recover, node)
+
+    def crash_now(self, node: int) -> None:
+        """Crash ``node`` immediately."""
+        self._crash(node)
+
+    def recover_now(self, node: int) -> None:
+        """Recover ``node`` immediately."""
+        self._recover(node)
+
+    # ------------------------------------------------------------------
+    # Random crash/repair process
+    # ------------------------------------------------------------------
+    def random_failures(self, nodes: Sequence[int], mtbf_ms: float,
+                        mttr_ms: float, until: float,
+                        rng: np.random.Generator) -> int:
+        """Schedule an exponential crash/repair process per node.
+
+        Each node independently alternates up/down with exponential
+        times-to-failure (mean ``mtbf_ms``) and times-to-repair (mean
+        ``mttr_ms``) until simulated time ``until``.  Returns the number
+        of crash events scheduled.
+        """
+        if mtbf_ms <= 0 or mttr_ms <= 0:
+            raise ValueError("MTBF and MTTR must be positive")
+        if until <= self.sim.now:
+            raise ValueError("horizon must be in the future")
+        crashes = 0
+        for node in nodes:
+            t = self.sim.now + float(rng.exponential(mtbf_ms))
+            while t < until:
+                self.crash_at(t, int(node))
+                crashes += 1
+                t += float(rng.exponential(mttr_ms))
+                if t >= until:
+                    break
+                self.recover_at(t, int(node))
+                t += float(rng.exponential(mtbf_ms))
+        return crashes
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def _crash(self, node: int) -> None:
+        if self.network.is_up(node):
+            self.network.set_down(node)
+            self.timeline.append(FailureEvent(self.sim.now, node, "crash"))
+            if self.on_crash is not None:
+                self.on_crash(node)
+
+    def _recover(self, node: int) -> None:
+        if not self.network.is_up(node):
+            self.network.set_up(node)
+            self.timeline.append(FailureEvent(self.sim.now, node, "recover"))
+            if self.on_recover is not None:
+                self.on_recover(node)
+
+    def crashes(self) -> list[FailureEvent]:
+        """All crash events so far."""
+        return [e for e in self.timeline if e.kind == "crash"]

@@ -1,0 +1,191 @@
+"""Live network-coordinate maintenance inside the simulator.
+
+The batch driver in :mod:`repro.coords.embedding` embeds a matrix outside
+any simulation.  :class:`CoordinateGossip` instead runs the coordinate
+system the way a deployment would: every simulated node periodically
+pings a random peer (a real message exchange over the
+:class:`~repro.sim.node.Network`) and updates its Vivaldi/RNP state from
+the measured RTT.  The storage layer reads current coordinates from here
+when routing requests.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.coords.rnp import RNPNode
+from repro.coords.space import EuclideanSpace
+from repro.coords.vivaldi import VivaldiNode
+from repro.sim.node import Network
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["CoordinateGossip"]
+
+#: Bytes of a coordinate-gossip probe/reply: a float64 vector plus the
+#: error estimate and a small header.
+def _probe_bytes(space: EuclideanSpace) -> int:
+    return 8 * space.vector_size + 8 + 16
+
+
+class CoordinateGossip:
+    """Runs a decentralized coordinate system over simulated gossip.
+
+    Parameters
+    ----------
+    network:
+        The message fabric (its latency matrix is the ground truth the
+        coordinates learn).
+    node_ids:
+        Which nodes participate (defaults to every matrix row, whether
+        or not a :class:`~repro.sim.node.Node` object exists for it —
+        gossip is modelled as its own traffic).
+    system:
+        ``"vivaldi"`` or ``"rnp"``.
+    period:
+        Milliseconds between probes per node.
+    space:
+        Coordinate space (default 3-D + height, Vivaldi's standard).
+    """
+
+    def __init__(self, network: Network,
+                 node_ids: list[int] | None = None,
+                 system: Literal["vivaldi", "rnp"] = "rnp",
+                 period: float = 500.0,
+                 space: EuclideanSpace | None = None,
+                 jitter: float = 0.1) -> None:
+        self.network = network
+        self.space = space or EuclideanSpace(dim=3, use_height=True)
+        self.node_ids = list(node_ids) if node_ids is not None else list(
+            range(network.matrix.n))
+        if len(self.node_ids) < 2:
+            raise ValueError("gossip needs at least two participants")
+        sim = network.sim
+        rng = sim.rng("coordinate-gossip")
+        if system == "vivaldi":
+            self.nodes = {i: VivaldiNode(self.space, rng=rng)
+                          for i in self.node_ids}
+        elif system == "rnp":
+            self.nodes = {i: RNPNode(self.space, rng=rng)
+                          for i in self.node_ids}
+        else:
+            raise ValueError(f"unknown coordinate system {system!r}")
+        self.system = system
+        self.probes = 0
+        self._stopped = False
+        self._rng = rng
+        self._process = PeriodicProcess(
+            sim, period, self._round, jitter=jitter, rng=rng,
+            start_after=0.0,
+        )
+
+    def _round(self) -> None:
+        """One gossip round: every participant probes one random peer.
+
+        The RTT sample becomes available one round-trip later; we model
+        that by scheduling the coordinate update after the true RTT and
+        charging probe + reply bytes to the network's tally.
+        """
+        sim = self.network.sim
+        size = _probe_bytes(self.space)
+        n = len(self.node_ids)
+        for idx, i in enumerate(self.node_ids):
+            if not self.network.is_up(i):
+                continue  # a crashed node neither probes nor replies
+            j = self.node_ids[(idx + 1 + int(self._rng.integers(0, n - 1))) % n]
+            if j == i:
+                j = self.node_ids[(idx + 1) % n]
+            if not self.network.is_up(j):
+                continue  # probe to a dead peer is lost; nothing learned
+            rtt = self.network.matrix.latency(i, j)
+            self.network.stats.record_send(size)
+            self.network.stats.record_receive(size)
+            self.network.per_kind_bytes["coord-probe"] = (
+                self.network.per_kind_bytes.get("coord-probe", 0) + 2 * size
+            )
+            sim.schedule(rtt, self._apply_sample, i, j, rtt)
+            self.probes += 1
+
+    def _apply_sample(self, i: int, j: int, rtt: float) -> None:
+        if self._stopped:
+            return  # a sample still in flight when gossip was stopped
+        if i not in self.nodes or j not in self.nodes:
+            return  # one endpoint left while the probe was in flight
+        remote = self.nodes[j]
+        self.nodes[i].update(remote.coords, remote.error, rtt)
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int, bootstrap_probes: int = 8) -> None:
+        """A new node joins the running coordinate system.
+
+        The joiner immediately probes ``bootstrap_probes`` random
+        existing participants (results applied after the true RTT, like
+        any measurement) so its coordinate is usable within a couple of
+        round-trips instead of a full convergence period; afterwards it
+        gossips like everyone else.
+        """
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id} already participates")
+        if not 0 <= node_id < self.network.matrix.n:
+            raise ValueError(f"node {node_id} outside the matrix")
+        if self.system == "vivaldi":
+            self.nodes[node_id] = VivaldiNode(self.space, rng=self._rng)
+        else:
+            self.nodes[node_id] = RNPNode(self.space, rng=self._rng)
+        existing = [i for i in self.node_ids if i != node_id]
+        self.node_ids.append(node_id)
+        sim = self.network.sim
+        size = _probe_bytes(self.space)
+        probes = min(bootstrap_probes, len(existing))
+        targets = self._rng.choice(len(existing), size=probes, replace=False)
+        for t in targets:
+            j = existing[int(t)]
+            rtt = self.network.matrix.latency(node_id, j)
+            self.network.stats.record_send(size)
+            self.network.stats.record_receive(size)
+            self.network.per_kind_bytes["coord-probe"] = (
+                self.network.per_kind_bytes.get("coord-probe", 0) + 2 * size
+            )
+            sim.schedule(rtt, self._apply_sample, node_id, j, rtt)
+            self.probes += 1
+
+    def remove_node(self, node_id: int) -> None:
+        """A node leaves; its coordinate state is discarded."""
+        if node_id not in self.nodes:
+            raise ValueError(f"node {node_id} does not participate")
+        if len(self.nodes) <= 2:
+            raise ValueError("gossip needs at least two participants")
+        del self.nodes[node_id]
+        self.node_ids.remove(node_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def coords_of(self, node_id: int) -> np.ndarray:
+        """Current coordinates of ``node_id``."""
+        return self.nodes[node_id].coords
+
+    def planar_coords(self) -> np.ndarray:
+        """``(n, dim)`` planar coordinates for all matrix rows.
+
+        Non-participants get zeros; callers normally gossip on all nodes.
+        """
+        out = np.zeros((self.network.matrix.n, self.space.dim))
+        for i, node in self.nodes.items():
+            out[i] = node.coords[:self.space.dim]
+        return out
+
+    def full_coords(self) -> np.ndarray:
+        """``(n, vector_size)`` raw coordinates for all matrix rows."""
+        out = np.zeros((self.network.matrix.n, self.space.vector_size))
+        for i, node in self.nodes.items():
+            out[i] = node.coords
+        return out
+
+    def stop(self) -> None:
+        """Stop gossiping (coordinates freeze at their current values)."""
+        self._stopped = True
+        self._process.stop()

@@ -1,0 +1,178 @@
+"""Nodes and latency-delayed messaging on top of the simulator.
+
+A :class:`Network` binds a :class:`~repro.sim.simulator.Simulator` to a
+:class:`~repro.net.latency.LatencyMatrix`; :class:`Node` subclasses
+register with it and exchange :class:`Message` objects that arrive after
+the one-way delay between the endpoints (plus payload serialization time
+when a :class:`~repro.net.bandwidth.BandwidthModel` is configured).  The
+network keeps per-node traffic accounting, which the Table II bandwidth
+comparison uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyMatrix
+from repro.sim.simulator import Simulator
+
+__all__ = ["Message", "Network", "Node"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight.
+
+    ``kind`` is a free-form tag (e.g. ``"access-request"``); ``payload``
+    is arbitrary and ``size_bytes`` is what traffic accounting charges.
+    """
+
+    sender: int
+    recipient: int
+    kind: str
+    payload: Any = None
+    size_bytes: int = 0
+    sent_at: float = 0.0
+
+
+@dataclass
+class TrafficStats:
+    """Byte and message counters for one node or the whole network."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def record_send(self, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+
+    def record_receive(self, size: int) -> None:
+        self.messages_received += 1
+        self.bytes_received += size
+
+
+class Network:
+    """Message fabric: delivers node-to-node messages after latency.
+
+    Parameters
+    ----------
+    sim:
+        The event loop that delivery events are scheduled on.
+    matrix:
+        Ground-truth RTTs; a message from ``a`` to ``b`` arrives after
+        ``matrix.one_way(a, b)`` milliseconds.
+    """
+
+    def __init__(self, sim: Simulator, matrix: LatencyMatrix,
+                 bandwidth: BandwidthModel | None = None) -> None:
+        self.sim = sim
+        self.matrix = matrix
+        self.bandwidth = bandwidth
+        self.nodes: dict[int, "Node"] = {}
+        self.stats = TrafficStats()
+        self.per_node: dict[int, TrafficStats] = {}
+        self.per_kind_bytes: dict[str, int] = {}
+        self._down: set[int] = set()
+        self.messages_dropped = 0
+
+    def register(self, node: "Node") -> None:
+        """Attach ``node``; its id must index into the latency matrix."""
+        if not 0 <= node.node_id < self.matrix.n:
+            raise ValueError(
+                f"node id {node.node_id} outside matrix of size {self.matrix.n}"
+            )
+        if node.node_id in self.nodes:
+            raise ValueError(f"node id {node.node_id} already registered")
+        self.nodes[node.node_id] = node
+        self.per_node[node.node_id] = TrafficStats()
+
+    def send(self, message: Message) -> None:
+        """Ship ``message``; the recipient's handler fires after delay.
+
+        Messages from a down sender are silently dropped (a crashed node
+        cannot transmit); messages to a down recipient are dropped at
+        delivery time, so a node crashing mid-flight still loses them.
+        """
+        if message.recipient not in self.nodes:
+            raise KeyError(f"unknown recipient {message.recipient}")
+        if message.sender in self._down:
+            self.messages_dropped += 1
+            return
+        self.stats.record_send(message.size_bytes)
+        self.per_node[message.sender].record_send(message.size_bytes)
+        self.per_kind_bytes[message.kind] = (
+            self.per_kind_bytes.get(message.kind, 0) + message.size_bytes
+        )
+        delay = self.matrix.one_way(message.sender, message.recipient)
+        if self.bandwidth is not None:
+            rtt = self.matrix.latency(message.sender, message.recipient)
+            delay += self.bandwidth.transfer_ms(rtt, message.size_bytes)
+        self.sim.schedule(delay, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        node = self.nodes.get(message.recipient)
+        if node is None:  # node retired while the message was in flight
+            return
+        if message.recipient in self._down:
+            self.messages_dropped += 1
+            return
+        self.stats.record_receive(message.size_bytes)
+        self.per_node[message.recipient].record_receive(message.size_bytes)
+        node.handle_message(message)
+
+    def rtt(self, a: int, b: int) -> float:
+        """Ground-truth round-trip time between two nodes."""
+        return self.matrix.latency(a, b)
+
+    # ------------------------------------------------------------------
+    # Liveness (driven by repro.sim.failures.FailureInjector)
+    # ------------------------------------------------------------------
+    def is_up(self, node_id: int) -> bool:
+        """Whether ``node_id`` is currently able to send/receive."""
+        return node_id not in self._down
+
+    def set_down(self, node_id: int) -> None:
+        """Mark a node crashed; its traffic is dropped until set_up."""
+        self._down.add(node_id)
+
+    def set_up(self, node_id: int) -> None:
+        """Mark a node recovered."""
+        self._down.discard(node_id)
+
+
+class Node:
+    """Base class for simulated nodes.
+
+    Subclasses override :meth:`handle_message`.  ``node_id`` doubles as
+    the row index into the network's latency matrix.
+    """
+
+    def __init__(self, network: Network, node_id: int) -> None:
+        self.network = network
+        self.node_id = node_id
+        network.register(self)
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator this node runs on."""
+        return self.network.sim
+
+    def send(self, recipient: int, kind: str, payload: Any = None,
+             size_bytes: int = 0) -> None:
+        """Send a message; it arrives after the one-way network delay."""
+        self.network.send(Message(
+            sender=self.node_id,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.sim.now,
+        ))
+
+    def handle_message(self, message: Message) -> None:
+        """Process a delivered message (override in subclasses)."""
+        raise NotImplementedError

@@ -1,0 +1,54 @@
+"""Consistency extensions: async update propagation and quorum reads.
+
+The paper assumes read-mostly objects served by a single closest replica
+and defers quorum protocols to future work (Section II-A).  This module
+builds that future work so the store can also run update-heavy
+workloads:
+
+* writes are versioned (last-writer-wins, store-assigned monotonic
+  versions) and propagate asynchronously from the replica that accepted
+  them to its peers;
+* reads may contact ``read_quorum`` replicas in parallel and return the
+  freshest version among the responses — trading extra traffic for a
+  lower chance of staleness, exactly the trade-off the paper sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConsistencyConfig", "QuorumError"]
+
+
+class QuorumError(ValueError):
+    """Raised when a quorum cannot be formed from the installed replicas."""
+
+
+@dataclass(frozen=True)
+class ConsistencyConfig:
+    """Read/write behaviour of the store.
+
+    Attributes
+    ----------
+    read_quorum:
+        Replicas contacted in parallel per read.  ``1`` is the paper's
+        closest-replica model; larger values implement quorum reads
+        (capped at the number of installed replicas at read time).
+    propagate_updates:
+        Ship accepted writes asynchronously to the other replicas.
+        Disabling models the paper's read-only evaluation where update
+        cost is ignored.
+    propagation_delay_ms:
+        Extra server-side delay before a write starts propagating
+        (batching window); zero propagates immediately.
+    """
+
+    read_quorum: int = 1
+    propagate_updates: bool = True
+    propagation_delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.read_quorum < 1:
+            raise ValueError("read quorum must be at least 1")
+        if self.propagation_delay_ms < 0:
+            raise ValueError("propagation delay must be non-negative")

@@ -1,0 +1,806 @@
+"""The replicated store: servers, clients and the placement control loop.
+
+See :mod:`repro.store` for the overview.  All latency behaviour comes
+from the simulator's message fabric; this module adds the storage
+protocol on top:
+
+========================  ==========================================
+message kind              meaning
+========================  ==========================================
+``read-req``              client -> server: read an object
+``read-rep``              server -> client: object payload
+``write-req``             client -> server: update an object
+``write-ack``             server -> client: write accepted
+``replicate``             server -> server: full replica transfer
+                          (update propagation, migration or repair)
+``summary``               server -> coordinator: micro-cluster summary
+========================  ==========================================
+
+Placement operates on **placement units**: a unit is either a single
+object or an *object group* — the paper's Section II-A "virtual object
+that represents all the objects of the group".  Every member of a unit
+shares one replica set, one access summary, one controller and one
+migration decision; accesses to any member inform the shared summary.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.controller import (
+    ControllerConfig,
+    EpochReport,
+    ReplicationController,
+)
+from repro.core.migration import MigrationCostModel, MigrationPolicy
+from repro.net.bandwidth import BandwidthModel
+from repro.sim.node import Message, Network, Node
+from repro.sim.process import PeriodicProcess
+from repro.sim.simulator import Simulator
+from repro.store.consistency import ConsistencyConfig, QuorumError
+from repro.store.objects import AccessLog, AccessRecord, DataObject
+
+__all__ = ["StorageServer", "StorageClient", "ReplicatedStore"]
+
+#: Bytes of a read/write request (key + client coordinates + header).
+REQUEST_BYTES = 256
+
+
+class StorageServer(Node):
+    """A data-center server that can hold replicas of objects."""
+
+    def __init__(self, store: "ReplicatedStore", node_id: int) -> None:
+        super().__init__(store.network, node_id)
+        self.store = store
+        #: object key -> stored version.
+        self.replicas: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        handler = {
+            "read-req": self._on_read,
+            "write-req": self._on_write,
+            "replicate": self._on_replicate,
+            "summary": self._on_summary,
+        }.get(message.kind)
+        if handler is None:
+            raise ValueError(f"server got unexpected message {message.kind!r}")
+        handler(message)
+
+    def _forward(self, message: Message) -> None:
+        """Replica gone: forward the request to a current site.
+
+        The extra server-to-server hop costs real latency, which is the
+        honest price of catching a replica mid-retirement.
+        """
+        key = message.payload["key"]
+        try:
+            sites = self.store.installed_sites(key)
+        except KeyError:
+            return  # object deleted while the request was in flight
+        if not sites:
+            return  # object fully retired; the request is lost
+        target = self.store._rank_sites(self.node_id, sites)[0]
+        self.send(target, message.kind, payload=message.payload,
+                  size_bytes=message.size_bytes)
+
+    def _on_read(self, message: Message) -> None:
+        key = message.payload["key"]
+        if key not in self.replicas:
+            self._forward(message)
+            return
+        version = self.replicas[key]
+        obj = self.store.object(key)
+        self.store._record_server_access(self.node_id, key,
+                                         message.payload["coords"],
+                                         obj.read_size_bytes, kind="read")
+        self.send(message.payload["client"], "read-rep",
+                  payload={"key": key, "version": version,
+                           "request_id": message.payload["request_id"]},
+                  size_bytes=obj.read_size_bytes)
+
+    def _on_write(self, message: Message) -> None:
+        key = message.payload["key"]
+        if key not in self.replicas:
+            self._forward(message)
+            return
+        version = self.store._next_version(key)
+        self.replicas[key] = max(self.replicas[key], version)
+        self.store._record_server_access(self.node_id, key,
+                                         message.payload["coords"],
+                                         REQUEST_BYTES, kind="write")
+        self.send(message.payload["client"], "write-ack",
+                  payload={"key": key, "version": version,
+                           "request_id": message.payload["request_id"]},
+                  size_bytes=REQUEST_BYTES)
+        config = self.store.consistency
+        if config.propagate_updates:
+            self.sim.schedule(config.propagation_delay_ms,
+                              self._propagate, key, version)
+
+    def _propagate(self, key: str, version: int) -> None:
+        obj = self.store.object(key)
+        for peer in self.store.installed_sites(key):
+            if peer != self.node_id:
+                self.send(peer, "replicate",
+                          payload={"versions": {key: version},
+                                   "unit": self.store._unit_key_of(key),
+                                   "reason": "update"},
+                          size_bytes=obj.size_bytes)
+
+    def _on_replicate(self, message: Message) -> None:
+        """Install (or refresh) replicas of one placement unit.
+
+        ``versions`` maps every transferred member key to its version;
+        a migration or repair moves the whole unit in one transfer.
+        """
+        versions: Mapping[str, int] = message.payload["versions"]
+        for key, version in versions.items():
+            self.replicas[key] = max(self.replicas.get(key, -1), version)
+        reason = message.payload.get("reason")
+        unit_key = message.payload["unit"]
+        if unit_key not in self.store._units:
+            # The unit was deleted while the transfer was in flight;
+            # discard the stray replica data.
+            for key in versions:
+                self.replicas.pop(key, None)
+            return
+        if reason == "migration":
+            self.store._migration_transfer_done(unit_key, self.node_id)
+        elif reason == "repair":
+            self.store._repair_transfer_done(unit_key, self.node_id)
+
+    def _on_summary(self, message: Message) -> None:
+        # Summaries terminate at the coordinator; the controller already
+        # consumed their content synchronously — this message exists so
+        # the control-plane traffic is charged to the network.
+        return
+
+    # ------------------------------------------------------------------
+    def install(self, key: str, version: int) -> None:
+        """Place a replica directly (initial placement, no transfer)."""
+        self.replicas[key] = version
+
+    def drop(self, key: str) -> None:
+        """Discard a replica."""
+        self.replicas.pop(key, None)
+
+    def holds_unit(self, unit: "_PlacementUnit") -> bool:
+        """Whether this server holds every member of ``unit``."""
+        return all(key in self.replicas for key in unit.members)
+
+
+@dataclass
+class _PendingRead:
+    key: str
+    issued_at: float
+    expected: int
+    #: Latest committed version when the read was issued; a read is
+    #: *stale* if it returns anything older (reads racing with writes
+    #: that commit mid-flight are not penalised).
+    latest_at_issue: int
+    versions: list[int] = field(default_factory=list)
+    servers: list[int] = field(default_factory=list)
+    attempts: int = 1
+    tried: set[int] = field(default_factory=set)
+    timeout_event: object = None
+
+
+class StorageClient(Node):
+    """A user client issuing reads and writes against the store."""
+
+    def __init__(self, store: "ReplicatedStore", node_id: int) -> None:
+        super().__init__(store.network, node_id)
+        self.store = store
+        self._request_ids = itertools.count()
+        self._pending_reads: dict[int, _PendingRead] = {}
+        self._pending_writes: dict[int, tuple[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Issuing operations
+    # ------------------------------------------------------------------
+    def read(self, key: str) -> None:
+        """Read ``key`` from the closest replica(s) (quorum-aware).
+
+        With the store's ``read_timeout_ms`` configured, an unanswered
+        read is retried against the next-closest untried replica — the
+        paper's "users may have time to access a second or more
+        replicas if they cannot access the first" scenario.  The total
+        logged delay includes the time lost waiting on dead replicas.
+        """
+        targets = self.store.route_read(self.node_id, key)
+        request_id = next(self._request_ids)
+        pending = _PendingRead(
+            key=key, issued_at=self.sim.now, expected=len(targets),
+            latest_at_issue=self.store.latest_version(key))
+        self._pending_reads[request_id] = pending
+        self._issue_read(request_id, pending, targets)
+
+    def _issue_read(self, request_id: int, pending: _PendingRead,
+                    targets: Sequence[int]) -> None:
+        coords = self.store.planar_coords_of(self.node_id)
+        pending.tried.update(targets)
+        for server in targets:
+            self.send(server, "read-req",
+                      payload={"key": pending.key, "request_id": request_id,
+                               "coords": coords, "client": self.node_id},
+                      size_bytes=REQUEST_BYTES)
+        if self.store.read_timeout_ms is not None:
+            pending.timeout_event = self.sim.schedule(
+                self.store.read_timeout_ms, self._on_read_timeout, request_id)
+
+    def _on_read_timeout(self, request_id: int) -> None:
+        pending = self._pending_reads.get(request_id)
+        if pending is None:
+            return  # completed in the meantime
+        pending.timeout_event = None
+        try:
+            sites = self.store.installed_sites(pending.key)
+        except KeyError:
+            sites = ()  # object deleted: the read can only fail now
+        untried = [s for s in self.store._rank_sites(self.node_id, sites)
+                   if s not in pending.tried]
+        missing = pending.expected - len(pending.versions)
+        if (pending.attempts >= self.store.max_read_attempts
+                or not untried):
+            del self._pending_reads[request_id]
+            self.store.failed_reads += 1
+            self.store.log.append(AccessRecord(
+                time=self.sim.now, client=self.node_id, server=-1,
+                key=pending.key, delay_ms=self.sim.now - pending.issued_at,
+                kind="read-timeout"))
+            return
+        pending.attempts += 1
+        # Only the missing quorum members are re-requested.
+        self._issue_read(request_id, pending, untried[:max(missing, 1)])
+
+    def write(self, key: str) -> None:
+        """Update ``key`` at the closest replica."""
+        target = self.store.route_write(self.node_id, key)
+        request_id = next(self._request_ids)
+        self._pending_writes[request_id] = (key, self.sim.now)
+        self.send(target, "write-req",
+                  payload={"key": key, "request_id": request_id,
+                           "coords": self.store.planar_coords_of(self.node_id),
+                           "client": self.node_id},
+                  size_bytes=REQUEST_BYTES)
+
+    # ------------------------------------------------------------------
+    # Completions
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        if message.kind == "read-rep":
+            self._on_read_reply(message)
+        elif message.kind == "write-ack":
+            self._on_write_ack(message)
+        else:
+            raise ValueError(f"client got unexpected message {message.kind!r}")
+
+    def _on_read_reply(self, message: Message) -> None:
+        request_id = message.payload["request_id"]
+        pending = self._pending_reads.get(request_id)
+        if pending is None:
+            return
+        pending.versions.append(message.payload["version"])
+        pending.servers.append(message.sender)
+        if len(pending.versions) < pending.expected:
+            return
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+        del self._pending_reads[request_id]
+        version = max(pending.versions)
+        freshest_server = pending.servers[int(np.argmax(pending.versions))]
+        delay = self.sim.now - pending.issued_at
+        self.store.log.append(AccessRecord(
+            time=self.sim.now, client=self.node_id, server=freshest_server,
+            key=pending.key, delay_ms=delay, kind="read", version=version,
+            stale=version < pending.latest_at_issue,
+        ))
+
+    def _on_write_ack(self, message: Message) -> None:
+        request_id = message.payload["request_id"]
+        pending = self._pending_writes.pop(request_id, None)
+        if pending is None:
+            return
+        key, issued_at = pending
+        self.store.log.append(AccessRecord(
+            time=self.sim.now, client=self.node_id, server=message.sender,
+            key=key, delay_ms=self.sim.now - issued_at, kind="write",
+            version=message.payload["version"],
+        ))
+
+
+@dataclass
+class _PlacementUnit:
+    """One independently placed replica set: an object or a group."""
+
+    unit_key: str
+    members: dict[str, DataObject]
+    controller: ReplicationController
+    installed: set[int]            # node ids currently serving reads
+    target: set[int] | None = None       # node ids of an in-flight migration
+    awaiting: set[int] = field(default_factory=set)  # pending transfers
+    latest: dict[str, int] = field(default_factory=dict)
+    epoch_process: PeriodicProcess | None = None
+    epoch_reports: list[EpochReport] = field(default_factory=list)
+
+    @property
+    def total_size_gb(self) -> float:
+        return sum(obj.size_gb for obj in self.members.values())
+
+    @property
+    def total_size_bytes(self) -> int:
+        return sum(obj.size_bytes for obj in self.members.values())
+
+    def current_versions(self, server: StorageServer) -> dict[str, int]:
+        return {key: server.replicas.get(key, 0) for key in self.members}
+
+
+class ReplicatedStore:
+    """Catalog, routing and placement control for replicated objects.
+
+    Parameters
+    ----------
+    sim / matrix:
+        Simulator and ground-truth RTTs.
+    candidates:
+        Node ids usable as data centers; a :class:`StorageServer` is
+        created on each.
+    coords:
+        Planar network coordinates for routing and clustering: a static
+        ``(n, d)`` array or any object with a ``planar_coords()`` method
+        (e.g. :class:`~repro.sim.gossip.CoordinateGossip`), re-read at
+        every routing decision so live coordinates are honoured.
+    selection:
+        ``"coords"`` routes reads with coordinate predictions (the
+        deployable mode); ``"oracle"`` uses true RTTs (the paper's
+        closest-replica assumption for its figures).
+    consistency:
+        Read-quorum / update-propagation configuration.
+    bandwidth:
+        Optional :class:`~repro.net.bandwidth.BandwidthModel`: payload
+        bytes then add serialization time to every delivery (replica
+        transfers become slow, reads barely change).
+    read_timeout_ms / max_read_attempts:
+        Enable client-side read failover: an unanswered read retries
+        the next-closest replica, up to the attempt budget.
+    auto_repair / repair_period_ms:
+        Enable the availability monitor: dead replicas are dropped from
+        the read set, recovered durable replicas rejoin, and lost
+        redundancy is re-replicated from surviving copies.
+    """
+
+    def __init__(self, sim: Simulator, matrix, candidates: Sequence[int],
+                 coords, selection: str = "coords",
+                 consistency: ConsistencyConfig | None = None,
+                 bandwidth: BandwidthModel | None = None,
+                 read_timeout_ms: float | None = None,
+                 max_read_attempts: int = 3,
+                 auto_repair: bool = False,
+                 repair_period_ms: float = 5_000.0) -> None:
+        if selection not in ("coords", "oracle"):
+            raise ValueError("selection must be 'coords' or 'oracle'")
+        if read_timeout_ms is not None and read_timeout_ms <= 0:
+            raise ValueError("read timeout must be positive")
+        if max_read_attempts < 1:
+            raise ValueError("need at least one read attempt")
+        if repair_period_ms <= 0:
+            raise ValueError("repair period must be positive")
+        self.sim = sim
+        self.network = Network(sim, matrix, bandwidth=bandwidth)
+        self.read_timeout_ms = read_timeout_ms
+        self.max_read_attempts = max_read_attempts
+        self.auto_repair = auto_repair
+        self.failed_reads = 0
+        self.repairs = 0
+        self.candidates = tuple(int(c) for c in candidates)
+        if len(set(self.candidates)) != len(self.candidates):
+            raise ValueError("candidate node ids must be distinct")
+        self._coords = coords
+        self.selection = selection
+        self.consistency = consistency or ConsistencyConfig()
+        self.log = AccessLog()
+        self.servers: dict[int, StorageServer] = {
+            node_id: StorageServer(self, node_id) for node_id in self.candidates
+        }
+        self.clients: dict[int, StorageClient] = {}
+        self._units: dict[str, _PlacementUnit] = {}
+        self._unit_of: dict[str, str] = {}   # member key -> unit key
+        #: Coordinator for summary traffic: the first candidate.
+        self.coordinator = self.candidates[0]
+        if auto_repair:
+            PeriodicProcess(sim, repair_period_ms, self._check_availability)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_client(self, node_id: int) -> StorageClient:
+        """Register a client node."""
+        if node_id in self.clients:
+            raise ValueError(f"client {node_id} already exists")
+        client = StorageClient(self, node_id)
+        self.clients[node_id] = client
+        return client
+
+    def planar_coords(self) -> np.ndarray:
+        """Current planar coordinates of all matrix rows."""
+        if hasattr(self._coords, "planar_coords"):
+            return self._coords.planar_coords()
+        return np.asarray(self._coords, dtype=float)
+
+    def planar_coords_of(self, node_id: int) -> np.ndarray:
+        """Current planar coordinates of one node."""
+        return self.planar_coords()[node_id]
+
+    # ------------------------------------------------------------------
+    # Objects and groups
+    # ------------------------------------------------------------------
+    def create_object(self, key: str, size_gb: float = 1.0,
+                      initial_sites: Sequence[int] | None = None,
+                      k: int = 3, read_size_bytes: int = 64 * 1024,
+                      controller_config: ControllerConfig | None = None,
+                      cost_model: MigrationCostModel | None = None,
+                      policy: MigrationPolicy | None = None,
+                      epoch_period_ms: float | None = None) -> DataObject:
+        """Create and place a single replicated object.
+
+        ``initial_sites`` (node ids drawn from the candidates) defaults
+        to ``k`` random candidates — the uninformed starting point from
+        which the controller gradually migrates.  With
+        ``epoch_period_ms`` set, a placement epoch runs periodically.
+        """
+        obj = DataObject(key, size_gb, read_size_bytes=read_size_bytes)
+        self._create_unit(key, {key: obj}, initial_sites, k,
+                          controller_config, cost_model, policy,
+                          epoch_period_ms)
+        return obj
+
+    def create_group(self, group_key: str,
+                     members: Mapping[str, float] | Sequence[str],
+                     initial_sites: Sequence[int] | None = None,
+                     k: int = 3, read_size_bytes: int = 64 * 1024,
+                     controller_config: ControllerConfig | None = None,
+                     cost_model: MigrationCostModel | None = None,
+                     policy: MigrationPolicy | None = None,
+                     epoch_period_ms: float | None = None
+                     ) -> list[DataObject]:
+        """Create a *group* of objects placed as one virtual object.
+
+        Section II-A: a placement solution "can be applied to a group of
+        data objects by treating accesses to any object of the group as
+        accesses to a virtual object".  All members share one replica
+        set, one summary stream and one migration decision; transfers
+        move the whole group (costed at the summed size).
+
+        Parameters
+        ----------
+        members:
+            Either a mapping ``key -> size_gb`` or a sequence of keys
+            (each defaulting to 1 GB).
+        """
+        if not members:
+            raise ValueError("a group needs at least one member")
+        if isinstance(members, Mapping):
+            sizes = {str(k): float(v) for k, v in members.items()}
+        else:
+            sizes = {str(k): 1.0 for k in members}
+        objects = {
+            key: DataObject(key, size, read_size_bytes=read_size_bytes)
+            for key, size in sizes.items()
+        }
+        self._create_unit(group_key, objects, initial_sites, k,
+                          controller_config, cost_model, policy,
+                          epoch_period_ms)
+        return list(objects.values())
+
+    def _create_unit(self, unit_key: str, members: dict[str, DataObject],
+                     initial_sites: Sequence[int] | None, k: int,
+                     controller_config: ControllerConfig | None,
+                     cost_model: MigrationCostModel | None,
+                     policy: MigrationPolicy | None,
+                     epoch_period_ms: float | None) -> _PlacementUnit:
+        if unit_key in self._units or unit_key in self._unit_of:
+            raise ValueError(f"unit {unit_key!r} already exists")
+        for key in members:
+            if key in self._unit_of or (key != unit_key and key in self._units):
+                raise ValueError(f"object {key!r} already exists")
+
+        if initial_sites is None:
+            rng = self.sim.rng("initial-placement")
+            picks = rng.choice(len(self.candidates),
+                               size=min(k, len(self.candidates)),
+                               replace=False)
+            initial_sites = [self.candidates[int(p)] for p in picks]
+        initial_sites = [int(s) for s in initial_sites]
+        for s in initial_sites:
+            if s not in self.servers:
+                raise ValueError(f"initial site {s} is not a candidate")
+
+        total_gb = sum(obj.size_gb for obj in members.values())
+        config = controller_config or ControllerConfig(k=len(initial_sites))
+        positions = [self.candidates.index(s) for s in initial_sites]
+        dc_coords = self.planar_coords()[list(self.candidates)]
+        controller = ReplicationController(
+            dc_coords, positions, config,
+            cost_model=cost_model or MigrationCostModel(object_size_gb=total_gb),
+            policy=policy,
+            on_migrate=lambda old, new, _unit=unit_key: self._execute_migration(
+                _unit, old, new),
+        )
+        unit = _PlacementUnit(unit_key=unit_key, members=members,
+                              controller=controller,
+                              installed=set(initial_sites),
+                              latest={key: 0 for key in members})
+        self._units[unit_key] = unit
+        for key in members:
+            self._unit_of[key] = unit_key
+        for site in initial_sites:
+            for key in members:
+                self.servers[site].install(key, version=0)
+        if epoch_period_ms is not None:
+            unit.epoch_process = PeriodicProcess(
+                self.sim, epoch_period_ms,
+                lambda _unit=unit_key: self.run_epoch(_unit))
+        return unit
+
+    def delete(self, unit_key: str) -> None:
+        """Retire an object or group: drop every replica, stop its epochs.
+
+        In-flight requests to the dropped replicas are lost (or time out
+        and fail, if client retries are configured) — the same symptom a
+        real deletion has.  Accepts the unit key (object key for single
+        objects, group key for groups); deleting an individual *member*
+        of a group is not supported, as the group is the placement unit.
+        """
+        unit = self._units.get(unit_key)
+        if unit is None:
+            if unit_key in self._unit_of:
+                raise ValueError(
+                    f"{unit_key!r} is a group member; delete the group "
+                    f"{self._unit_of[unit_key]!r} instead")
+            raise KeyError(f"unknown unit {unit_key!r}")
+        if unit.epoch_process is not None:
+            unit.epoch_process.stop()
+        for site in sorted(unit.installed | unit.awaiting):
+            for key in unit.members:
+                self.servers[site].drop(key)
+        for key in unit.members:
+            del self._unit_of[key]
+        del self._units[unit_key]
+
+    # ------------------------------------------------------------------
+    # Catalog queries (accept an object key or a unit/group key)
+    # ------------------------------------------------------------------
+    def object(self, key: str) -> DataObject:
+        """The :class:`DataObject` for member ``key``."""
+        unit = self._unit_of_key(key)
+        if key not in unit.members:
+            raise KeyError(f"{key!r} is a group, not an object")
+        return unit.members[key]
+
+    def group_members(self, unit_key: str) -> tuple[str, ...]:
+        """Member keys of a unit (a single object is its own member)."""
+        return tuple(self._unit_of_key(unit_key).members)
+
+    def installed_sites(self, key: str) -> tuple[int, ...]:
+        """Node ids currently serving reads for ``key``."""
+        return tuple(sorted(self._unit_of_key(key).installed))
+
+    def latest_version(self, key: str) -> int:
+        """Highest version ever written to member ``key``."""
+        return self._unit_of_key(key).latest[key]
+
+    def epoch_reports(self, key: str) -> list[EpochReport]:
+        """All placement-epoch reports for the unit owning ``key``."""
+        return list(self._unit_of_key(key).epoch_reports)
+
+    def controller(self, key: str) -> ReplicationController:
+        """The placement controller of the unit owning ``key``."""
+        return self._unit_of_key(key).controller
+
+    def _unit(self, unit_key: str) -> _PlacementUnit:
+        unit = self._units.get(unit_key)
+        if unit is None:
+            raise KeyError(f"unknown unit {unit_key!r}")
+        return unit
+
+    def _unit_of_key(self, key: str) -> _PlacementUnit:
+        unit_key = self._unit_of.get(key)
+        if unit_key is None:
+            if key in self._units:  # allow unit/group keys in queries
+                return self._units[key]
+            raise KeyError(f"unknown object {key!r}")
+        return self._units[unit_key]
+
+    def _unit_key_of(self, key: str) -> str:
+        return self._unit_of.get(key, key)
+
+    def _next_version(self, key: str) -> int:
+        unit = self._unit_of_key(key)
+        unit.latest[key] += 1
+        return unit.latest[key]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_read(self, client: int, key: str) -> list[int]:
+        """Replica server(s) a read should contact (quorum-aware)."""
+        sites = self.installed_sites(key)
+        if not sites:
+            raise QuorumError(f"object {key!r} has no installed replicas")
+        quorum = min(self.consistency.read_quorum, len(sites))
+        ranked = self._rank_sites(client, sites)
+        return ranked[:quorum]
+
+    def route_write(self, client: int, key: str) -> int:
+        """The replica server a write is sent to (the closest)."""
+        sites = self.installed_sites(key)
+        if not sites:
+            raise QuorumError(f"object {key!r} has no installed replicas")
+        return self._rank_sites(client, sites)[0]
+
+    def _rank_sites(self, client: int, sites: Sequence[int]) -> list[int]:
+        if self.selection == "oracle":
+            keys = [self.network.matrix.latency(client, s) for s in sites]
+        else:
+            coords = self.planar_coords()
+            keys = [float(np.linalg.norm(coords[client] - coords[s]))
+                    for s in sites]
+        return [s for _, s in sorted(zip(keys, sites))]
+
+    # ------------------------------------------------------------------
+    # Access recording (server-side hook into the controller)
+    # ------------------------------------------------------------------
+    def _record_server_access(self, server: int, key: str,
+                              client_coords: np.ndarray,
+                              bytes_exchanged: float,
+                              kind: str = "read") -> None:
+        unit = self._unit_of_key(key)
+        position = self.candidates.index(server)
+        try:
+            unit.controller.record_access(position, client_coords,
+                                          bytes_exchanged, kind=kind)
+        except KeyError:
+            # The replica is being retired (or was just created by a
+            # migration the controller already rolled over); its traffic
+            # no longer informs placement.
+            pass
+
+    # ------------------------------------------------------------------
+    # Placement epochs and migration
+    # ------------------------------------------------------------------
+    def run_epoch(self, unit_key: str) -> EpochReport:
+        """Run one placement epoch for a unit (Algorithm 1 + policy)."""
+        unit = self._unit_of_key(unit_key)
+        # Refresh candidate coordinates: with live gossip they drift.
+        unit.controller.dc_coords = self.planar_coords()[list(self.candidates)]
+        report = unit.controller.run_epoch(self.sim.rng(f"epoch-{unit.unit_key}"))
+        unit.epoch_reports.append(report)
+        # Charge the summary shipping to the network.
+        if report.summary_bytes > 0:
+            per_site = max(
+                report.summary_bytes // max(len(report.previous_sites), 1), 1)
+            for position in report.previous_sites:
+                site = self.candidates[position]
+                if site != self.coordinator:
+                    self.servers[site].send(self.coordinator, "summary",
+                                            payload={"unit": unit.unit_key},
+                                            size_bytes=per_site)
+        return report
+
+    def _execute_migration(self, unit_key: str, old_positions: tuple[int, ...],
+                           new_positions: tuple[int, ...]) -> None:
+        """Move replicas: transfer to new sites, retire old ones after."""
+        unit = self._unit(unit_key)
+        new_sites = {self.candidates[p] for p in new_positions}
+        unit.target = new_sites
+        unit.awaiting = new_sites - unit.installed
+        if not unit.awaiting:
+            # Pure shrink (or reorder): retire immediately.
+            self._finalize_migration(unit_key)
+            return
+        sources = sorted(unit.installed)
+        for target in sorted(unit.awaiting):
+            source = min(
+                sources,
+                key=lambda s: self.network.matrix.latency(s, target))
+            self.servers[source].send(
+                target, "replicate",
+                payload={"versions": unit.current_versions(self.servers[source]),
+                         "unit": unit_key, "reason": "migration"},
+                size_bytes=unit.total_size_bytes)
+
+    def _migration_transfer_done(self, unit_key: str, node_id: int) -> None:
+        unit = self._unit(unit_key)
+        unit.awaiting.discard(node_id)
+        # New replicas serve reads as soon as they are installed.
+        unit.installed.add(node_id)
+        if not unit.awaiting:
+            self._finalize_migration(unit_key)
+
+    def _finalize_migration(self, unit_key: str) -> None:
+        unit = self._unit(unit_key)
+        assert unit.target is not None
+        for site in sorted(unit.installed - unit.target):
+            for key in unit.members:
+                self.servers[site].drop(key)
+        unit.installed = set(unit.target)
+        unit.target = None
+
+    # ------------------------------------------------------------------
+    # Availability: failure handling and re-replication
+    # ------------------------------------------------------------------
+    def _check_availability(self) -> None:
+        """Periodic sweep: drop dead replicas, re-adopt recovered ones,
+        and re-replicate up to the target degree (auto-repair)."""
+        for unit_key in list(self._units):
+            self._check_unit_availability(unit_key)
+
+    def _check_unit_availability(self, unit_key: str) -> None:
+        unit = self._unit(unit_key)
+        if unit.target is not None:
+            return  # a migration is in flight; let it settle first
+        live = {s for s in unit.installed if self.network.is_up(s)}
+        lost = unit.installed - live
+        target_k = unit.controller.k
+
+        # Recovered servers that still hold the replicas (durable disks)
+        # rejoin for free, up to the target degree.
+        if len(live) < target_k:
+            for site in self.candidates:
+                if len(live) >= target_k:
+                    break
+                if (site not in live and self.network.is_up(site)
+                        and self.servers[site].holds_unit(unit)):
+                    live.add(site)
+
+        if lost or live != unit.installed:
+            if live:
+                unit.installed = live
+                unit.controller.sync_sites(
+                    [self.candidates.index(s) for s in sorted(live)])
+            else:
+                # Every replica is down; keep the old set and wait for a
+                # recovery — there is nothing to repair *from*.
+                return
+
+        if not self.auto_repair or len(unit.installed) >= target_k:
+            return
+
+        # Re-replicate from the closest live holder onto the closest
+        # live non-holder.
+        holders = sorted(unit.installed)
+        spares = [s for s in self.candidates
+                  if s not in unit.installed and self.network.is_up(s)
+                  and s not in unit.awaiting]
+        needed = target_k - len(unit.installed) - len(unit.awaiting)
+        for _ in range(max(needed, 0)):
+            if not spares:
+                break
+            # Prefer the spare closest to any current holder (cheap,
+            # fast transfer); ties broken by id for determinism.
+            spare = min(spares, key=lambda s: min(
+                self.network.matrix.latency(h, s) for h in holders))
+            spares.remove(spare)
+            source = min(holders,
+                         key=lambda h: self.network.matrix.latency(h, spare))
+            unit.awaiting.add(spare)
+            self.repairs += 1
+            self.servers[source].send(
+                spare, "replicate",
+                payload={"versions": unit.current_versions(self.servers[source]),
+                         "unit": unit_key, "reason": "repair"},
+                size_bytes=unit.total_size_bytes)
+
+    def _repair_transfer_done(self, unit_key: str, node_id: int) -> None:
+        unit = self._unit(unit_key)
+        unit.awaiting.discard(node_id)
+        if not self.network.is_up(node_id):
+            return  # it crashed again while the transfer was in flight
+        unit.installed.add(node_id)
+        unit.controller.sync_sites(
+            [self.candidates.index(s) for s in sorted(unit.installed)])

@@ -1,0 +1,116 @@
+"""Data objects and access metrics for the replicated store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["DataObject", "AccessRecord", "AccessLog"]
+
+
+@dataclass
+class DataObject:
+    """One replicated data object (or object group, per Section II-A).
+
+    Attributes
+    ----------
+    key:
+        Object identifier.
+    size_gb:
+        Logical size; drives migration cost and replica-transfer byte
+        counts.
+    read_size_bytes:
+        Payload of one read response.  Clients typically fetch a record
+        or chunk, not the whole replica, so this defaults to 64 KiB;
+        replica transfers (migration, update propagation) always move
+        the full ``size_gb``.
+    version:
+        Monotonic write version (last-writer-wins).
+    """
+
+    key: str
+    size_gb: float = 1.0
+    read_size_bytes: int = 64 * 1024
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("object key must be non-empty")
+        if self.size_gb <= 0:
+            raise ValueError("object size must be positive")
+        if self.read_size_bytes <= 0:
+            raise ValueError("read size must be positive")
+
+    @property
+    def size_bytes(self) -> int:
+        """Size in bytes (used for message accounting)."""
+        return int(self.size_gb * 1024 ** 3)
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One completed client access."""
+
+    time: float
+    client: int
+    server: int
+    key: str
+    delay_ms: float
+    kind: str = "read"
+    version: int = 0
+    stale: bool = False
+
+
+class AccessLog:
+    """Collects :class:`AccessRecord` entries and summarizes them."""
+
+    def __init__(self) -> None:
+        self.records: list[AccessRecord] = []
+
+    def append(self, record: AccessRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def delays(self, kind: str | None = None,
+               since: float = 0.0) -> np.ndarray:
+        """Delay samples in ms, optionally filtered by kind and time."""
+        return np.array([
+            r.delay_ms for r in self.records
+            if (kind is None or r.kind == kind) and r.time >= since
+        ])
+
+    def mean_delay(self, kind: str | None = None, since: float = 0.0) -> float:
+        """Mean access delay; the figure-of-merit of every experiment."""
+        values = self.delays(kind, since)
+        if values.size == 0:
+            raise ValueError("no matching access records")
+        return float(values.mean())
+
+    def percentile_delay(self, q: float, kind: str | None = None) -> float:
+        """``q``-th percentile delay."""
+        values = self.delays(kind)
+        if values.size == 0:
+            raise ValueError("no matching access records")
+        return float(np.percentile(values, q))
+
+    def stale_fraction(self) -> float:
+        """Fraction of reads that returned a stale version."""
+        reads = [r for r in self.records if r.kind == "read"]
+        if not reads:
+            return 0.0
+        return sum(1 for r in reads if r.stale) / len(reads)
+
+    def by_client(self) -> dict[int, list[AccessRecord]]:
+        """Records grouped by client id."""
+        grouped: dict[int, list[AccessRecord]] = {}
+        for r in self.records:
+            grouped.setdefault(r.client, []).append(r)
+        return grouped
+
+    def extend(self, records: Iterable[AccessRecord]) -> None:
+        for r in records:
+            self.append(r)

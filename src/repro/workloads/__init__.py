@@ -1,0 +1,51 @@
+"""Workload generation: who accesses what, from where, and when.
+
+The paper's evaluation treats all non-candidate nodes as clients with
+uniform demand; its future-work section calls for "more realistic
+evaluation based on data accesses in actual applications".  This package
+provides both:
+
+* :class:`ClientPopulation` — which nodes issue requests and with what
+  relative intensity (uniform, region-weighted, or explicitly weighted);
+* :class:`ZipfObjectPopularity` — object selection for multi-object
+  workloads (web-style skew);
+* temporal patterns (:class:`DiurnalPattern`, :class:`FlashCrowd`,
+  :class:`RegionalShift`) that modulate client intensity over simulated
+  time — the regimes under which gradual migration earns its keep;
+* :class:`AccessWorkload` — a simulator process that drives a
+  :class:`~repro.store.kvstore.ReplicatedStore` with the above;
+* :func:`generate_trace` — the same stream as a pure, replayable list.
+"""
+
+from repro.workloads.population import ClientPopulation, ZipfObjectPopularity
+from repro.workloads.temporal import (
+    ConstantPattern,
+    DiurnalPattern,
+    FlashCrowd,
+    RegionalShift,
+    TemporalPattern,
+)
+from repro.workloads.access import (
+    AccessEvent,
+    AccessWorkload,
+    generate_trace,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+
+__all__ = [
+    "ClientPopulation",
+    "ZipfObjectPopularity",
+    "TemporalPattern",
+    "ConstantPattern",
+    "DiurnalPattern",
+    "FlashCrowd",
+    "RegionalShift",
+    "AccessEvent",
+    "AccessWorkload",
+    "generate_trace",
+    "load_trace",
+    "replay_trace",
+    "save_trace",
+]

@@ -1,0 +1,118 @@
+"""Client populations and object popularity models."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.net.topology import GeoTopology
+
+__all__ = ["ClientPopulation", "ZipfObjectPopularity"]
+
+
+class ClientPopulation:
+    """Which client nodes issue requests, and how intensely.
+
+    A population is a set of client node ids with non-negative base
+    weights; sampling draws a client proportionally to weight (times any
+    temporal modulation the workload applies).
+
+    Use the constructors:
+
+    * :meth:`uniform` — equal weight for every client (the paper's
+      evaluation setting);
+    * :meth:`region_weighted` — weight clients by their geographic
+      region, e.g. to model a service popular in Europe;
+    * the plain constructor for explicit weights.
+    """
+
+    def __init__(self, clients: Sequence[int],
+                 weights: Sequence[float] | None = None) -> None:
+        self.clients = tuple(int(c) for c in clients)
+        if not self.clients:
+            raise ValueError("population needs at least one client")
+        if len(set(self.clients)) != len(self.clients):
+            raise ValueError("client ids must be distinct")
+        if weights is None:
+            self.weights = np.ones(len(self.clients))
+        else:
+            self.weights = np.asarray(list(weights), dtype=float)
+            if self.weights.shape != (len(self.clients),):
+                raise ValueError("one weight per client required")
+            if np.any(self.weights < 0) or self.weights.sum() <= 0:
+                raise ValueError("weights must be non-negative, sum positive")
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    @staticmethod
+    def uniform(clients: Sequence[int]) -> "ClientPopulation":
+        """Every client equally likely — the paper's setting."""
+        return ClientPopulation(clients)
+
+    @staticmethod
+    def region_weighted(clients: Sequence[int], topology: GeoTopology,
+                        region_weights: dict[str, float],
+                        default_weight: float = 1.0) -> "ClientPopulation":
+        """Weight each client by its region's weight.
+
+        Parameters
+        ----------
+        region_weights:
+            Map region name -> relative intensity; unlisted regions get
+            ``default_weight``.
+        """
+        if default_weight < 0:
+            raise ValueError("default weight must be non-negative")
+        weights = [
+            float(region_weights.get(topology.region_name(c), default_weight))
+            for c in clients
+        ]
+        return ClientPopulation(clients, weights)
+
+    def sample(self, rng: np.random.Generator,
+               modulation: np.ndarray | None = None) -> int:
+        """Draw one client id (optionally modulated per client)."""
+        weights = self.weights
+        if modulation is not None:
+            modulation = np.asarray(modulation, dtype=float)
+            if modulation.shape != weights.shape:
+                raise ValueError("one modulation factor per client required")
+            weights = weights * modulation
+        total = weights.sum()
+        if total <= 0:
+            # Fully suppressed population: fall back to base weights.
+            weights, total = self.weights, self.weights.sum()
+        return self.clients[int(rng.choice(len(self.clients), p=weights / total))]
+
+    def index_of(self, client: int) -> int:
+        """Position of ``client`` in :attr:`clients`."""
+        return self.clients.index(client)
+
+
+class ZipfObjectPopularity:
+    """Zipf-distributed object selection for multi-object workloads.
+
+    Object ``i`` (0-based rank) is drawn with probability proportional
+    to ``1 / (i + 1) ** exponent`` — the classic web-popularity skew.
+    """
+
+    def __init__(self, keys: Sequence[str], exponent: float = 0.9) -> None:
+        self.keys = tuple(keys)
+        if not self.keys:
+            raise ValueError("at least one object key required")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        ranks = np.arange(1, len(self.keys) + 1, dtype=float)
+        probs = ranks ** (-exponent)
+        self.probs = probs / probs.sum()
+        self.exponent = exponent
+
+    def sample(self, rng: np.random.Generator) -> str:
+        """Draw one object key."""
+        return self.keys[int(rng.choice(len(self.keys), p=self.probs))]
+
+    def probability_of(self, key: str) -> float:
+        """Selection probability of ``key``."""
+        return float(self.probs[self.keys.index(key)])

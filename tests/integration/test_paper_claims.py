@@ -1,0 +1,113 @@
+"""Integration tests: the paper's headline claims at reduced scale.
+
+The full-size (226-node, 30-run) reproduction lives in ``benchmarks/``;
+these tests assert the same *relationships* at a scale that keeps the
+suite fast: ~100 nodes and 8 runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EvaluationSetting, run_figure1, run_figure2, run_figure3
+from repro.analysis import run_table2
+
+
+SETTING = EvaluationSetting(n_nodes=100, n_runs=8, coord_system="rnp",
+                            embed_rounds=80, seed=2)
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return run_figure2(SETTING, replica_counts=(1, 2, 3, 5, 7), n_dc=15)
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return run_figure1(SETTING, datacenter_counts=(5, 15, 25), k=3)
+
+
+class TestFigure1Claims:
+    def test_informed_strategies_improve_with_more_datacenters(self, figure1):
+        for name in ("offline k-means", "online clustering", "optimal"):
+            means = figure1.means(name)
+            assert means[-1] < means[0], name
+
+    def test_online_near_optimal_at_every_point(self, figure1):
+        online = figure1.means("online clustering")
+        optimal = figure1.means("optimal")
+        for on, opt in zip(online, optimal):
+            assert on <= opt * 1.25
+
+    def test_online_tracks_offline(self, figure1):
+        online = figure1.means("online clustering")
+        offline = figure1.means("offline k-means")
+        for on, off in zip(online, offline):
+            assert abs(on - off) <= 0.25 * off
+
+
+class TestFigure2Claims:
+    def test_delay_decreases_with_replication(self, figure2):
+        for name in ("random", "offline k-means", "online clustering",
+                     "optimal"):
+            means = figure2.means(name)
+            # Monotone within noise: strictly lower from k=1 to k=7.
+            assert means[-1] < means[0], name
+
+    def test_diminishing_returns(self, figure2):
+        # The drop from k=1 to k=3 exceeds the drop from k=5 to k=7.
+        opt = figure2.means("optimal")
+        assert (opt[0] - opt[2]) > (opt[3] - opt[4])
+
+    def test_online_well_below_random(self, figure2):
+        # The paper's ">= 35 %" holds at full scale (asserted in
+        # benchmarks/test_fig2_degree_of_replication.py); at this
+        # reduced scale (100 nodes, 8 runs) we allow a small noise
+        # margin around it.
+        random_means = figure2.means("random")
+        online_means = figure2.means("online clustering")
+        for k, r, on in zip(figure2.xs("random"), random_means, online_means):
+            gain = (r - on) / r
+            assert gain >= 0.30, f"k={k}: gain {gain:.0%}"
+
+    def test_online_slightly_worse_than_optimal(self, figure2):
+        online = figure2.means("online clustering")
+        optimal = figure2.means("optimal")
+        for on, opt in zip(online, optimal):
+            assert opt <= on <= opt * 1.25
+
+    def test_optimal_is_global_lower_bound(self, figure2):
+        optimal = figure2.means("optimal")
+        for name in ("random", "offline k-means", "online clustering"):
+            for o, v in zip(optimal, figure2.means(name)):
+                assert o <= v + 1e-9
+
+
+class TestFigure3Claims:
+    @pytest.fixture(scope="class")
+    def figure3(self):
+        return run_figure3(SETTING, micro_cluster_counts=(1, 4, 11),
+                           replica_counts=(1, 3, 5), n_dc=15)
+
+    def test_more_micro_clusters_help(self, figure3):
+        # Averaged over k, m=4 must beat m=1.
+        m1 = np.mean(figure3.means("1 micro-clusters"))
+        m4 = np.mean(figure3.means("4 micro-clusters"))
+        assert m4 <= m1
+
+    def test_saturation_after_4(self, figure3):
+        # Going from 4 to 11 changes little (the paper's saturation).
+        m4 = np.mean(figure3.means("4 micro-clusters"))
+        m11 = np.mean(figure3.means("11 micro-clusters"))
+        assert abs(m11 - m4) <= 0.15 * m4
+
+
+class TestTable2Claims:
+    def test_online_bandwidth_independent_of_n(self):
+        rows = run_table2(n_accesses_list=(1_000, 50_000), k=3, m=50)
+        assert rows[1].online_bytes <= rows[0].online_bytes * 1.5
+        assert rows[1].offline_bytes == 50 * rows[0].offline_bytes
+
+    def test_orders_of_magnitude_at_scale(self):
+        rows = run_table2(n_accesses_list=(100_000,), k=3, m=100)
+        row = rows[0]
+        assert row.offline_bytes > 50 * row.online_bytes

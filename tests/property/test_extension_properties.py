@@ -1,0 +1,117 @@
+"""Property-based tests for the extension modules (rw, capacity, replay)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering import ClusterFeature
+from repro.core import estimate_rw_cost, place_replicas, place_replicas_rw
+from repro.net.bandwidth import LatencyCorrelatedBandwidth, UniformBandwidth
+
+finite_coord = st.floats(min_value=-1e3, max_value=1e3,
+                         allow_nan=False, allow_infinity=False)
+point2 = st.tuples(finite_coord, finite_coord).map(
+    lambda t: np.array(t, dtype=float))
+cluster_list = st.lists(
+    st.tuples(point2, st.integers(min_value=1, max_value=50)),
+    min_size=1, max_size=10,
+).map(lambda specs: [_cf(p, c) for p, c in specs])
+
+
+def _cf(point, count):
+    cluster = ClusterFeature.from_point(point)
+    for _ in range(count - 1):
+        cluster.absorb(point)
+    return cluster
+
+
+dc_array = st.lists(point2, min_size=2, max_size=8, unique_by=lambda p: tuple(p)
+                    ).map(np.stack)
+
+
+class TestRWCostProperties:
+    @given(cluster_list, dc_array)
+    @settings(max_examples=50, deadline=None)
+    def test_read_only_combined_equals_read_mean(self, reads, dcs):
+        combined, read_mean, write_mean = estimate_rw_cost(reads, [], dcs)
+        assert combined == read_mean
+        assert write_mean == 0.0
+        assert combined >= 0.0
+
+    @given(cluster_list, cluster_list, dc_array)
+    @settings(max_examples=50, deadline=None)
+    def test_combined_between_components(self, reads, writes, dcs):
+        combined, read_mean, write_mean = estimate_rw_cost(reads, writes, dcs)
+        lo, hi = sorted((read_mean, write_mean))
+        assert lo - 1e-9 <= combined <= hi + 1e-9
+
+    @given(cluster_list, cluster_list, dc_array)
+    @settings(max_examples=50, deadline=None)
+    def test_write_cost_at_least_read_cost_of_writers(self, reads, writes, dcs):
+        # A write pays its nearest-replica distance plus fan-out, so the
+        # write mean is >= what those clients would pay as readers.
+        _, _, write_mean = estimate_rw_cost([], writes, dcs)
+        read_view, _, _ = estimate_rw_cost(writes, [], dcs)
+        assert write_mean >= read_view - 1e-9
+
+
+class TestRWPlacementProperties:
+    @given(cluster_list, cluster_list, dc_array,
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_contract(self, reads, writes, dcs, k):
+        decision = place_replicas_rw(reads, writes, k, dcs,
+                                     np.random.default_rng(0))
+        sites = decision.data_centers
+        assert len(sites) == min(k, dcs.shape[0])
+        assert len(set(sites)) == len(sites)
+        assert all(0 <= s < dcs.shape[0] for s in sites)
+        assert decision.predicted_cost >= 0.0
+
+    @given(cluster_list, dc_array, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_read_only_rw_matches_plain_estimate(self, reads, dcs, k):
+        rw = place_replicas_rw(reads, [], k, dcs, np.random.default_rng(0))
+        plain = place_replicas(reads, k, dcs, np.random.default_rng(0))
+        # Both optimize the same objective for read-only workloads; the
+        # achieved estimates must agree (site sets may differ on ties).
+        assert abs(rw.predicted_cost - plain.predicted_delay) <= \
+            1e-6 * max(plain.predicted_delay, 1.0)
+
+
+class TestCapacityProperties:
+    @given(cluster_list, dc_array, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_huge_capacity_never_changes_the_placement(self, clusters, dcs, k):
+        free = place_replicas(clusters, k, dcs, np.random.default_rng(0))
+        capped = place_replicas(clusters, k, dcs, np.random.default_rng(0),
+                                dc_capacities=np.full(dcs.shape[0], 1e12))
+        assert sorted(free.data_centers) == sorted(capped.data_centers)
+
+    @given(cluster_list, dc_array, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_placement_contract(self, clusters, dcs, k):
+        caps = np.full(dcs.shape[0], 5.0)  # usually insufficient
+        decision = place_replicas(clusters, k, dcs,
+                                  np.random.default_rng(0),
+                                  dc_capacities=caps)
+        sites = decision.data_centers
+        assert len(set(sites)) == len(sites) == min(k, dcs.shape[0])
+
+
+class TestBandwidthProperties:
+    @given(st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+           st.integers(min_value=0, max_value=10 ** 10))
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_linear_in_size(self, rtt, size):
+        model = UniformBandwidth(mbps=100.0)
+        assert model.transfer_ms(rtt, 2 * size) == \
+            2 * model.transfer_ms(rtt, size)
+
+    @given(st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+           st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_correlated_bandwidth_monotone_in_rtt(self, r1, r2):
+        model = LatencyCorrelatedBandwidth()
+        lo, hi = sorted((r1, r2))
+        assert model.bandwidth_mbps(lo) >= model.bandwidth_mbps(hi)
+        assert model.bandwidth_mbps(hi) >= model.floor_mbps - 1e-12

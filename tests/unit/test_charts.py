@@ -1,0 +1,76 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis import render_chart
+from repro.analysis.experiment import FigureResult
+from repro.analysis.stats import SeriesPoint, summarize
+
+
+def make_figure(series_values):
+    series = {
+        name: [SeriesPoint(float(x), summarize([y]))
+               for x, y in points]
+        for name, points in series_values.items()
+    }
+    return FigureResult("Fig", "x label", "y label", series)
+
+
+class TestRenderChart:
+    def test_structure(self):
+        fig = make_figure({"a": [(1, 10.0), (2, 20.0)],
+                           "b": [(1, 15.0), (2, 5.0)]})
+        text = render_chart(fig, width=20, height=6)
+        lines = text.splitlines()
+        assert lines[0] == "Fig — y label"
+        assert "x label" in text
+        assert "o a" in text and "x b" in text
+        # y-axis extremes labelled.
+        assert "20.0" in text and "5.0" in text
+
+    def test_markers_present(self):
+        fig = make_figure({"a": [(0, 0.0), (10, 10.0)]})
+        text = render_chart(fig, width=16, height=5)
+        assert text.count("o") >= 2
+
+    def test_flat_series_handled(self):
+        # Zero y-span must not divide by zero.
+        fig = make_figure({"a": [(1, 7.0), (2, 7.0)]})
+        text = render_chart(fig)
+        assert "7.0" in text
+
+    def test_single_point_handled(self):
+        fig = make_figure({"a": [(3, 42.0)]})
+        text = render_chart(fig)
+        assert "42.0" in text
+
+    def test_size_validation(self):
+        fig = make_figure({"a": [(1, 1.0)]})
+        with pytest.raises(ValueError, match="at least"):
+            render_chart(fig, width=4, height=2)
+
+    def test_empty_figure_rejected(self):
+        fig = FigureResult("Fig", "x", "y", {})
+        with pytest.raises(ValueError, match="no series"):
+            render_chart(fig)
+
+    def test_marker_recycling_beyond_eight_series(self):
+        fig = make_figure({f"s{i}": [(1, float(i))] for i in range(10)})
+        text = render_chart(fig)
+        assert "s9" in text  # legend lists everything
+
+
+class TestCliChartFlag:
+    def test_chart_flag_prints_chart(self, capsys):
+        from repro.cli import main
+        assert main(["figure2", "--nodes", "40", "--runs", "2",
+                     "--coord-system", "mds", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "o random" in out
+        assert "+----" in out
+
+    def test_figure1_and_coords_commands(self, capsys):
+        from repro.cli import main
+        assert main(["figure1", "--nodes", "40", "--runs", "2",
+                     "--coord-system", "mds"]) == 0
+        assert "Figure 1" in capsys.readouterr().out

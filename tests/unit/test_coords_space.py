@@ -1,0 +1,107 @@
+"""Unit tests for repro.coords.space."""
+
+import numpy as np
+import pytest
+
+from repro.coords import EuclideanSpace
+
+
+class TestBasics:
+    def test_vector_size_without_height(self):
+        assert EuclideanSpace(dim=3).vector_size == 3
+
+    def test_vector_size_with_height(self):
+        assert EuclideanSpace(dim=3, use_height=True).vector_size == 4
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError, match="dimension"):
+            EuclideanSpace(dim=0)
+
+    def test_origin_is_zero(self):
+        assert np.all(EuclideanSpace(dim=2).origin() == 0)
+
+    def test_random_point_height_nonnegative(self):
+        space = EuclideanSpace(dim=2, use_height=True)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert space.random_point(rng)[-1] >= 0
+
+    def test_validate_rejects_wrong_shape(self):
+        space = EuclideanSpace(dim=3)
+        with pytest.raises(ValueError, match="size 3"):
+            space.validate(np.zeros(4))
+
+    def test_validate_rejects_negative_height(self):
+        space = EuclideanSpace(dim=2, use_height=True)
+        with pytest.raises(ValueError, match="height"):
+            space.validate(np.array([0.0, 0.0, -1.0]))
+
+    def test_repr_mentions_height(self):
+        assert "+h" in repr(EuclideanSpace(dim=2, use_height=True))
+
+
+class TestDistance:
+    def test_euclidean_distance(self):
+        space = EuclideanSpace(dim=2)
+        assert space.distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_height_adds_both_heights(self):
+        space = EuclideanSpace(dim=2, use_height=True)
+        a = np.array([0.0, 0.0, 2.0])
+        b = np.array([3.0, 4.0, 1.0])
+        assert space.distance(a, b) == pytest.approx(5.0 + 3.0)
+
+    def test_distance_symmetry(self):
+        space = EuclideanSpace(dim=3, use_height=True)
+        rng = np.random.default_rng(1)
+        a = space.random_point(rng, 10)
+        b = space.random_point(rng, 10)
+        assert space.distance(a, b) == pytest.approx(space.distance(b, a))
+
+    def test_pairwise_matches_scalar(self):
+        space = EuclideanSpace(dim=3, use_height=True)
+        rng = np.random.default_rng(2)
+        pts = np.stack([space.random_point(rng, 10) for _ in range(6)])
+        d = space.pairwise_distances(pts)
+        assert np.all(np.diag(d) == 0)
+        for i in range(6):
+            for j in range(6):
+                if i != j:
+                    assert d[i, j] == pytest.approx(space.distance(pts[i], pts[j]))
+
+    def test_cross_distances_matches_scalar(self):
+        space = EuclideanSpace(dim=2)
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[3.0, 4.0]])
+        d = space.cross_distances(a, b)
+        assert d.shape == (2, 1)
+        assert d[0, 0] == pytest.approx(5.0)
+
+
+class TestDirections:
+    def test_unit_direction_is_unit(self):
+        space = EuclideanSpace(dim=3)
+        d = space.unit_direction(np.array([1.0, 0, 0]), np.array([0.0, 0, 0]))
+        assert np.linalg.norm(d) == pytest.approx(1.0)
+        assert d[0] == pytest.approx(1.0)
+
+    def test_coincident_points_get_random_direction(self):
+        space = EuclideanSpace(dim=3)
+        p = np.zeros(3)
+        d = space.unit_direction(p, p, rng=np.random.default_rng(0))
+        assert np.linalg.norm(d) == pytest.approx(1.0)
+
+    def test_height_direction_pushes_up(self):
+        space = EuclideanSpace(dim=2, use_height=True)
+        a = np.array([1.0, 0.0, 0.5])
+        b = np.array([0.0, 0.0, 0.2])
+        d = space.unit_direction(a, b)
+        assert d[-1] == 1.0
+        assert np.linalg.norm(d[:-1]) == pytest.approx(1.0)
+
+    def test_clamp_fixes_negative_height(self):
+        space = EuclideanSpace(dim=2, use_height=True)
+        p = space.clamp(np.array([1.0, 2.0, -3.0]))
+        assert p[-1] == 0.0
+        # Planar part untouched.
+        assert p[0] == 1.0 and p[1] == 2.0

@@ -1,0 +1,231 @@
+"""Unit tests for Vivaldi, RNP, GNP and the batch embedding driver."""
+
+import numpy as np
+import pytest
+
+from repro.coords import (
+    EuclideanSpace,
+    RNPNode,
+    VivaldiNode,
+    classical_mds,
+    embed_landmarks,
+    embed_matrix,
+    gnp_embed,
+    median_absolute_error,
+    place_with_landmarks,
+    relative_errors,
+    stress,
+)
+from repro.net import LatencyMatrix
+from repro.net.planetlab import small_matrix
+
+
+def grid_matrix(side=4, spacing=20.0):
+    """A perfectly embeddable matrix: RTT = 2-D grid distance."""
+    points = np.array([
+        [i * spacing, j * spacing] for i in range(side) for j in range(side)
+    ], dtype=float)
+    diff = points[:, None, :] - points[None, :, :]
+    rtt = np.linalg.norm(diff, axis=-1)
+    # Avoid zero off-diagonal RTTs (grid points are distinct, so fine).
+    return LatencyMatrix(rtt)
+
+
+class TestVivaldiNode:
+    def test_rejects_bad_constants(self):
+        space = EuclideanSpace(2)
+        with pytest.raises(ValueError):
+            VivaldiNode(space, cc=0.0)
+        with pytest.raises(ValueError):
+            VivaldiNode(space, ce=1.5)
+
+    def test_rejects_nonpositive_rtt(self):
+        node = VivaldiNode(EuclideanSpace(2))
+        with pytest.raises(ValueError, match="RTT"):
+            node.update(np.zeros(2), 1.0, 0.0)
+
+    def test_error_decreases_with_consistent_measurements(self):
+        space = EuclideanSpace(2)
+        rng = np.random.default_rng(0)
+        node = VivaldiNode(space, rng=rng)
+        anchor = np.array([30.0, 0.0])
+        for _ in range(100):
+            node.update(anchor, 0.2, 30.0)
+        assert node.error < 0.5
+        assert node.updates == 100
+
+    def test_converges_to_correct_distance(self):
+        space = EuclideanSpace(2)
+        rng = np.random.default_rng(1)
+        node = VivaldiNode(space, rng=rng)
+        anchor = np.array([10.0, 10.0])
+        for _ in range(300):
+            node.update(anchor, 0.05, 25.0)
+        assert node.predicted_rtt(anchor) == pytest.approx(25.0, rel=0.05)
+
+    def test_height_stays_nonnegative(self):
+        space = EuclideanSpace(2, use_height=True)
+        rng = np.random.default_rng(2)
+        node = VivaldiNode(space, rng=rng)
+        for i in range(50):
+            anchor = space.random_point(rng, 20)
+            node.update(anchor, 0.5, 10.0 + i % 7)
+            assert node.coords[-1] >= 0
+
+
+class TestRNPNode:
+    def test_parameter_validation(self):
+        space = EuclideanSpace(2)
+        with pytest.raises(ValueError, match="window"):
+            RNPNode(space, window=1)
+        with pytest.raises(ValueError, match="interval"):
+            RNPNode(space, refit_interval=0)
+        with pytest.raises(ValueError, match="half life"):
+            RNPNode(space, recency_half_life=0)
+
+    def test_rejects_nonpositive_rtt(self):
+        node = RNPNode(EuclideanSpace(2))
+        with pytest.raises(ValueError, match="RTT"):
+            node.update(np.zeros(2), 1.0, -5.0)
+
+    def test_update_counts(self):
+        space = EuclideanSpace(2)
+        node = RNPNode(space, rng=np.random.default_rng(0))
+        for _ in range(10):
+            node.update(np.array([10.0, 0.0]), 0.5, 12.0)
+        assert node.updates == 10
+
+    def test_refit_fits_anchors(self):
+        # Three fixed anchors with consistent RTTs: RNP should position
+        # the node so predictions are accurate.
+        space = EuclideanSpace(2)
+        rng = np.random.default_rng(3)
+        node = RNPNode(space, refit_interval=4, rng=rng)
+        anchors = [np.array([100.0, 0.0]), np.array([0.0, 100.0]),
+                   np.array([-100.0, 0.0])]
+        true_pos = np.array([20.0, 10.0])
+        for i in range(200):
+            a = anchors[i % 3]
+            rtt = float(np.linalg.norm(true_pos - a))
+            node.update(a, 0.1, rtt)
+        for a in anchors:
+            true_rtt = float(np.linalg.norm(true_pos - a))
+            assert node.predicted_rtt(a) == pytest.approx(true_rtt, rel=0.1)
+
+
+class TestGNP:
+    def test_landmark_embedding_accuracy_on_embeddable_matrix(self):
+        matrix = grid_matrix(side=3, spacing=30.0)
+        space = EuclideanSpace(2)
+        coords = embed_landmarks(matrix.rtt, space, np.random.default_rng(0))
+        pred = space.pairwise_distances(coords)
+        iu = np.triu_indices(matrix.n, 1)
+        rel = np.abs(pred[iu] - matrix.rtt[iu]) / matrix.rtt[iu]
+        assert np.median(rel) < 0.15
+
+    def test_requires_enough_landmarks(self):
+        space = EuclideanSpace(5)
+        with pytest.raises(ValueError, match="landmarks"):
+            embed_landmarks(np.zeros((3, 3)), space)
+
+    def test_place_with_landmarks_positions_node(self):
+        space = EuclideanSpace(2)
+        landmarks = np.array([[0.0, 0.0], [100.0, 0.0], [0.0, 100.0]])
+        true = np.array([30.0, 40.0])
+        rtts = np.linalg.norm(landmarks - true, axis=1)
+        placed = place_with_landmarks(landmarks, rtts, space,
+                                      np.random.default_rng(0))
+        assert np.linalg.norm(placed - true) < 10.0
+
+    def test_place_rejects_mismatched_inputs(self):
+        space = EuclideanSpace(2)
+        with pytest.raises(ValueError, match="per landmark"):
+            place_with_landmarks(np.zeros((3, 2)), np.zeros(2), space)
+
+    def test_gnp_embed_full_matrix(self):
+        matrix = grid_matrix(side=4, spacing=25.0)
+        space = EuclideanSpace(2)
+        coords = gnp_embed(matrix.rtt, space, n_landmarks=6,
+                           rng=np.random.default_rng(1))
+        assert coords.shape == (matrix.n, 2)
+        err = median_absolute_error(matrix, coords, space)
+        assert err < 10.0
+
+
+class TestClassicalMDS:
+    def test_perfect_recovery_of_euclidean_matrix(self):
+        matrix = grid_matrix(side=4, spacing=10.0)
+        coords = classical_mds(matrix.rtt, dim=2)
+        space = EuclideanSpace(2)
+        assert stress(matrix, coords, space) < 1e-6
+
+    def test_dim_bound(self):
+        with pytest.raises(ValueError, match="dim"):
+            classical_mds(np.zeros((3, 3)), dim=3)
+
+
+class TestEmbedMatrix:
+    @pytest.mark.parametrize("system", ["vivaldi", "rnp"])
+    def test_decentralized_systems_reach_reasonable_accuracy(self, system):
+        matrix = small_matrix(n=40, seed=2)
+        result = embed_matrix(matrix, system=system, rounds=80,
+                              rng=np.random.default_rng(0))
+        rel = relative_errors(matrix, result.coords, result.space)
+        assert np.median(rel) < 0.35
+        assert result.system == system
+        assert result.coords.shape == (40, result.space.vector_size)
+
+    def test_rnp_beats_vivaldi(self):
+        matrix = small_matrix(n=40, seed=4)
+        errs = {}
+        for system in ("vivaldi", "rnp"):
+            result = embed_matrix(matrix, system=system, rounds=60,
+                                  rng=np.random.default_rng(7))
+            errs[system] = median_absolute_error(matrix, result.coords,
+                                                 result.space)
+        assert errs["rnp"] <= errs["vivaldi"] * 1.05
+
+    def test_mds_embedding(self):
+        matrix = small_matrix(n=20, seed=2)
+        result = embed_matrix(matrix, system="mds")
+        assert result.system == "mds"
+        assert result.coords.shape == (20, 3)
+
+    def test_mds_rejects_height_space(self):
+        matrix = small_matrix(n=10, seed=2)
+        with pytest.raises(ValueError, match="height"):
+            embed_matrix(matrix, system="mds",
+                         space=EuclideanSpace(2, use_height=True))
+
+    def test_unknown_system_rejected(self):
+        matrix = small_matrix(n=10, seed=2)
+        with pytest.raises(ValueError, match="unknown"):
+            embed_matrix(matrix, system="astrology")
+
+    def test_stability_tracked_for_decentralized_systems(self):
+        matrix = small_matrix(n=25, seed=5)
+        result = embed_matrix(matrix, system="vivaldi", rounds=60,
+                              rng=np.random.default_rng(0))
+        assert result.stability_ms_per_round is not None
+        assert result.stability_ms_per_round >= 0.0
+
+    def test_stability_none_for_batch_systems(self):
+        matrix = small_matrix(n=15, seed=5)
+        assert embed_matrix(matrix, system="mds").stability_ms_per_round is None
+
+    def test_rnp_at_least_as_stable_as_vivaldi(self):
+        matrix = small_matrix(n=30, seed=6)
+        stab = {}
+        for system in ("vivaldi", "rnp"):
+            result = embed_matrix(matrix, system=system, rounds=120,
+                                  rng=np.random.default_rng(2))
+            stab[system] = result.stability_ms_per_round
+        assert stab["rnp"] <= stab["vivaldi"] * 1.10
+
+    def test_predicted_matrix_shape(self):
+        matrix = small_matrix(n=12, seed=2)
+        result = embed_matrix(matrix, system="vivaldi", rounds=10,
+                              rng=np.random.default_rng(0))
+        pred = result.predicted_matrix()
+        assert pred.shape == (12, 12)
+        assert np.all(np.diag(pred) == 0)

@@ -1,0 +1,132 @@
+"""Unit tests for repro.core.migration and repro.core.costs."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    MigrationCostModel,
+    MigrationPolicy,
+    offline_bandwidth_bytes,
+    offline_compute_ops,
+    online_bandwidth_bytes,
+    online_compute_ops,
+)
+
+
+class TestCostModel:
+    def test_cost_counts_only_new_sites(self):
+        model = MigrationCostModel(dollars_per_gb=0.10, object_size_gb=5.0)
+        # One site kept, two new: 2 transfers of 5 GB at $0.10.
+        assert model.cost_of_move((1, 2, 3), (1, 4, 5)) == pytest.approx(1.0)
+
+    def test_no_cost_when_unchanged(self):
+        model = MigrationCostModel()
+        assert model.cost_of_move((1, 2), (2, 1)) == 0.0
+
+    def test_dropping_replicas_is_free(self):
+        model = MigrationCostModel()
+        assert model.cost_of_move((1, 2, 3), (1,)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="price"):
+            MigrationCostModel(dollars_per_gb=-0.1)
+        with pytest.raises(ValueError, match="size"):
+            MigrationCostModel(object_size_gb=0.0)
+
+
+class TestPolicy:
+    def setup_method(self):
+        self.model = MigrationCostModel(dollars_per_gb=0.10, object_size_gb=1.0)
+
+    def test_migrates_on_clear_gain(self):
+        policy = MigrationPolicy(min_relative_gain=0.05, min_absolute_gain_ms=1.0)
+        verdict = policy.decide(100.0, 60.0, self.model, (0, 1), (2, 3))
+        assert verdict.migrate
+        assert verdict.gain_ms == pytest.approx(40.0)
+        assert verdict.relative_gain == pytest.approx(0.4)
+        assert verdict.cost_dollars == pytest.approx(0.2)
+
+    def test_rejects_unchanged_placement(self):
+        policy = MigrationPolicy()
+        verdict = policy.decide(100.0, 60.0, self.model, (0, 1), (1, 0))
+        assert not verdict.migrate
+        assert verdict.reason == "placement unchanged"
+
+    def test_rejects_small_absolute_gain(self):
+        policy = MigrationPolicy(min_relative_gain=0.0, min_absolute_gain_ms=5.0)
+        verdict = policy.decide(100.0, 97.0, self.model, (0,), (1,))
+        assert not verdict.migrate
+        assert "absolute" in verdict.reason
+
+    def test_rejects_small_relative_gain(self):
+        policy = MigrationPolicy(min_relative_gain=0.10, min_absolute_gain_ms=0.0)
+        verdict = policy.decide(100.0, 95.0, self.model, (0,), (1,))
+        assert not verdict.migrate
+        assert "relative" in verdict.reason
+
+    def test_rejects_over_budget(self):
+        policy = MigrationPolicy(min_relative_gain=0.0,
+                                 min_absolute_gain_ms=0.0,
+                                 max_cost_dollars=0.05)
+        verdict = policy.decide(100.0, 50.0, self.model, (0,), (1,))
+        assert not verdict.migrate
+        assert "budget" in verdict.reason
+
+    def test_regression_never_migrates(self):
+        policy = MigrationPolicy(min_relative_gain=0.0, min_absolute_gain_ms=0.0)
+        verdict = policy.decide(50.0, 80.0, self.model, (0,), (1,))
+        assert not verdict.migrate
+
+    def test_zero_current_delay_is_safe(self):
+        policy = MigrationPolicy()
+        verdict = policy.decide(0.0, 0.0, self.model, (0,), (1,))
+        assert not verdict.migrate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MigrationPolicy(min_relative_gain=-0.1)
+        with pytest.raises(ValueError):
+            MigrationPolicy(min_absolute_gain_ms=-1.0)
+        with pytest.raises(ValueError):
+            MigrationPolicy(max_cost_dollars=-1.0)
+        policy = MigrationPolicy()
+        with pytest.raises(ValueError, match="delays"):
+            policy.decide(-1.0, 0.0, self.model, (0,), (1,))
+
+
+class TestTableIIFormulas:
+    def test_online_bandwidth_matches_paper_example(self):
+        # Paper: 100 micro-clusters for each of 3 replicas -> 300
+        # micro-clusters, "less than 300 KB".
+        size = online_bandwidth_bytes(k=3, m=100, dim=3)
+        assert size == 300 * (16 + 48)
+        assert size < 300 * 1024
+
+    def test_offline_bandwidth_matches_paper_example(self):
+        # 1 million accesses -> "more than tens of megabytes".
+        size = offline_bandwidth_bytes(1_000_000, dim=3)
+        assert size >= 10 * 1024 * 1024
+
+    def test_online_independent_of_access_count(self):
+        assert online_bandwidth_bytes(3, 100) == online_bandwidth_bytes(3, 100)
+
+    def test_compute_ops_formulas(self):
+        km = 12
+        assert online_compute_ops(3, 4) == pytest.approx(km ** 3 * math.log(km))
+        assert offline_compute_ops(1000, 2) == pytest.approx(
+            1000 ** 2 * math.log(1000))
+
+    def test_online_cheaper_than_offline_at_scale(self):
+        assert online_compute_ops(3, 100) < offline_compute_ops(1_000_000, 3)
+        assert online_bandwidth_bytes(3, 100) < offline_bandwidth_bytes(1_000_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            online_bandwidth_bytes(0, 10)
+        with pytest.raises(ValueError):
+            offline_bandwidth_bytes(-1)
+        with pytest.raises(ValueError):
+            online_compute_ops(1, 0)
+        with pytest.raises(ValueError):
+            offline_compute_ops(0, 1)

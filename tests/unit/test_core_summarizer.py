@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.summarizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import ReplicaAccessSummary
+
+
+class TestRecording:
+    def test_accesses_counted(self):
+        s = ReplicaAccessSummary(max_micro_clusters=10)
+        for i in range(5):
+            s.record_access(np.array([float(i), 0.0]), bytes_exchanged=100.0)
+        assert s.accesses == 5
+        assert s.bytes_served == 500.0
+
+    def test_budget_respected(self):
+        s = ReplicaAccessSummary(max_micro_clusters=3, radius_floor=0.1)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            s.record_access(rng.uniform(-100, 100, size=2))
+        assert len(s) <= 3
+        assert s.max_micro_clusters == 3
+
+    def test_rejects_negative_bytes(self):
+        s = ReplicaAccessSummary()
+        with pytest.raises(ValueError, match="non-negative"):
+            s.record_access(np.zeros(2), bytes_exchanged=-1.0)
+
+    def test_reset_clears_everything(self):
+        s = ReplicaAccessSummary()
+        s.record_access(np.zeros(2))
+        s.reset()
+        assert s.accesses == 0
+        assert s.bytes_served == 0.0
+        assert len(s) == 0
+
+    def test_snapshot_independent_of_live_state(self):
+        s = ReplicaAccessSummary(radius_floor=10.0)
+        s.record_access(np.zeros(2))
+        snap = s.snapshot()
+        s.record_access(np.array([1.0, 1.0]))
+        assert snap[0].count == 1
+
+    def test_wire_size_scales_with_clusters_not_accesses(self):
+        s = ReplicaAccessSummary(max_micro_clusters=4, radius_floor=1.0)
+        rng = np.random.default_rng(1)
+        blobs = np.array([[0.0, 0.0], [1000.0, 0.0]])
+        for _ in range(1000):
+            b = blobs[rng.integers(0, 2)]
+            s.record_access(b + rng.normal(0, 0.1, size=2))
+        # Thousands of accesses, but the summary is a handful of clusters.
+        assert s.wire_size_bytes() <= 4 * (16 + 2 * 8 * 2)
+        assert s.wire_size_bytes() > 0
+
+
+class TestDecay:
+    def test_decay_validation(self):
+        with pytest.raises(ValueError, match="decay"):
+            ReplicaAccessSummary(decay=0.0)
+        with pytest.raises(ValueError, match="decay"):
+            ReplicaAccessSummary(decay=1.5)
+
+    def test_age_noop_without_decay(self):
+        s = ReplicaAccessSummary()
+        s.record_access(np.zeros(2))
+        s.age()
+        assert s.micro_clusters[0].count == 1
+
+    def test_age_scales_statistics_preserving_centroid(self):
+        s = ReplicaAccessSummary(decay=0.5, radius_floor=10.0)
+        s.record_access(np.array([2.0, 4.0]))
+        s.record_access(np.array([4.0, 2.0]))
+        before = s.micro_clusters[0].centroid.copy()
+        s.age()
+        after = s.micro_clusters[0]
+        assert np.allclose(after.centroid, before)
+        assert after.count == pytest.approx(1.0)
+
+    def test_age_drops_faded_clusters(self):
+        s = ReplicaAccessSummary(decay=0.1, radius_floor=1.0)
+        s.record_access(np.zeros(2))
+        s.age()  # count 0.1
+        s.age()  # count 0.01 -> dropped
+        assert len(s) == 0

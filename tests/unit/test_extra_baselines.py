@@ -1,0 +1,121 @@
+"""Unit tests for the extra placement baselines (k-median, greedy modes)."""
+
+import numpy as np
+import pytest
+
+from repro.coords import EuclideanSpace, embed_matrix
+from repro.net.planetlab import small_matrix
+from repro.placement import (
+    GreedyPlacement,
+    KMedianPlacement,
+    OptimalPlacement,
+    PlacementProblem,
+    average_access_delay,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    matrix = small_matrix(n=40, seed=8)
+    result = embed_matrix(matrix, system="mds", space=EuclideanSpace(3))
+    rng = np.random.default_rng(9)
+    candidates = tuple(int(i) for i in rng.choice(40, size=10, replace=False))
+    clients = tuple(i for i in range(40) if i not in candidates)
+    return PlacementProblem(matrix, candidates, clients, k=3,
+                            coords=result.coords)
+
+
+class TestKMedian:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            KMedianPlacement(max_rounds=0)
+        with pytest.raises(ValueError, match="positive"):
+            KMedianPlacement(restarts=0)
+
+    def test_contract(self, problem):
+        sites = KMedianPlacement().place(problem, np.random.default_rng(0))
+        assert len(sites) == 3
+        assert len(set(sites)) == 3
+        assert all(s in problem.candidates for s in sites)
+
+    def test_deterministic(self, problem):
+        a = KMedianPlacement().place(problem, np.random.default_rng(4))
+        b = KMedianPlacement().place(problem, np.random.default_rng(4))
+        assert a == b
+
+    def test_beats_or_matches_offline_kmeans(self, problem):
+        from repro.placement import OfflineKMeansPlacement
+        kmedian_delays, kmeans_delays = [], []
+        for seed in range(6):
+            rng1 = np.random.default_rng(seed)
+            rng2 = np.random.default_rng(seed)
+            kmedian_delays.append(average_access_delay(
+                problem.matrix, problem.clients,
+                KMedianPlacement().place(problem, rng1)))
+            kmeans_delays.append(average_access_delay(
+                problem.matrix, problem.clients,
+                OfflineKMeansPlacement().place(problem, rng2)))
+        # Direct objective optimization should not lose on average.
+        assert np.mean(kmedian_delays) <= np.mean(kmeans_delays) * 1.05
+
+    def test_local_optimum_on_coordinates(self, problem):
+        # No single swap may improve the coordinate-space objective.
+        strategy = KMedianPlacement(restarts=1)
+        sites = strategy.place(problem, np.random.default_rng(1))
+        coords = problem.coords
+        client_coords = problem.client_coords()
+
+        def coord_objective(site_list):
+            site_coords = coords[list(site_list)]
+            d = np.linalg.norm(
+                client_coords[:, None, :] - site_coords[None, :, :], axis=-1)
+            return d.min(axis=1).sum()
+
+        base = coord_objective(sites)
+        for i in range(len(sites)):
+            for candidate in problem.candidates:
+                if candidate in sites:
+                    continue
+                trial = list(sites)
+                trial[i] = candidate
+                assert coord_objective(trial) >= base - 1e-9
+
+
+class TestGreedyCoordsMode:
+    def test_name_reflects_mode(self):
+        assert GreedyPlacement().name == "greedy"
+        assert GreedyPlacement(use_coords=True).name == "greedy (coords)"
+
+    def test_contract(self, problem):
+        sites = GreedyPlacement(use_coords=True).place(
+            problem, np.random.default_rng(0))
+        assert len(sites) == 3
+        assert all(s in problem.candidates for s in sites)
+
+    def test_oracle_mode_no_worse_than_coords_mode(self, problem):
+        oracle = average_access_delay(
+            problem.matrix, problem.clients,
+            GreedyPlacement().place(problem, np.random.default_rng(0)))
+        coords = average_access_delay(
+            problem.matrix, problem.clients,
+            GreedyPlacement(use_coords=True).place(
+                problem, np.random.default_rng(0)))
+        # True-latency information can only help.
+        assert oracle <= coords * 1.02
+
+    def test_coords_mode_requires_coords(self, problem):
+        bare = PlacementProblem(problem.matrix, problem.candidates,
+                                problem.clients, k=2)
+        with pytest.raises(ValueError, match="coordinates"):
+            GreedyPlacement(use_coords=True).place(
+                bare, np.random.default_rng(0))
+
+    def test_oracle_close_to_optimal(self, problem):
+        rng = np.random.default_rng(0)
+        opt = average_access_delay(
+            problem.matrix, problem.clients,
+            OptimalPlacement().place(problem, rng))
+        greedy = average_access_delay(
+            problem.matrix, problem.clients,
+            GreedyPlacement().place(problem, rng))
+        assert greedy <= opt * 1.15

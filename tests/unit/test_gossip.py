@@ -1,0 +1,143 @@
+"""Unit tests for repro.sim.gossip (live coordinates in the simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.coords import EuclideanSpace, median_absolute_error
+from repro.coords.metrics import relative_errors
+from repro.net.planetlab import small_matrix
+from repro.sim import Network, Simulator
+from repro.sim.gossip import CoordinateGossip
+
+
+def build(system="rnp", n=25, seed=0, period=200.0):
+    matrix = small_matrix(n=n, seed=seed)
+    sim = Simulator(seed=seed)
+    network = Network(sim, matrix)
+    gossip = CoordinateGossip(network, system=system, period=period)
+    return sim, matrix, network, gossip
+
+
+class TestConstruction:
+    def test_unknown_system_rejected(self):
+        matrix = small_matrix(n=5, seed=0)
+        network = Network(Simulator(), matrix)
+        with pytest.raises(ValueError, match="unknown"):
+            CoordinateGossip(network, system="tarot")
+
+    def test_needs_two_participants(self):
+        matrix = small_matrix(n=5, seed=0)
+        network = Network(Simulator(), matrix)
+        with pytest.raises(ValueError, match="two participants"):
+            CoordinateGossip(network, node_ids=[0])
+
+    def test_defaults_to_all_nodes(self):
+        _, matrix, _, gossip = build(n=10)
+        assert len(gossip.nodes) == 10
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("system", ["vivaldi", "rnp"])
+    def test_coordinates_learn_the_matrix(self, system):
+        sim, matrix, network, gossip = build(system=system, n=25)
+        sim.run_until(60_000.0)  # 300 rounds at 200 ms
+        gossip.stop()
+        space = EuclideanSpace(dim=3)  # planar comparison
+        coords = gossip.planar_coords()
+        rel = relative_errors(matrix, coords, space)
+        # Heights are excluded from the planar check, so allow slack;
+        # the embedding must still clearly beat a random layout.
+        assert np.median(rel) < 0.5
+
+    def test_probes_counted_and_charged(self):
+        sim, matrix, network, gossip = build(n=10)
+        sim.run_until(1_000.0)
+        assert gossip.probes > 0
+        assert network.per_kind_bytes.get("coord-probe", 0) > 0
+
+    def test_stop_freezes_coordinates(self):
+        sim, matrix, network, gossip = build(n=10)
+        sim.run_until(2_000.0)
+        gossip.stop()
+        frozen = gossip.full_coords().copy()
+        sim.run_until(10_000.0)
+        assert np.array_equal(frozen, gossip.full_coords())
+
+    def test_full_coords_shape(self):
+        sim, matrix, network, gossip = build(n=10)
+        sim.run_until(500.0)
+        assert gossip.full_coords().shape == (10, 4)  # 3-D + height
+        assert gossip.planar_coords().shape == (10, 3)
+        assert gossip.coords_of(3).shape == (4,)
+
+    def test_node_join_bootstraps_quickly(self):
+        matrix = small_matrix(n=20, seed=3)
+        sim = Simulator(seed=3)
+        network = Network(sim, matrix)
+        gossip = CoordinateGossip(network, node_ids=list(range(19)),
+                                  period=200.0)
+        sim.run_until(20_000.0)
+        gossip.add_node(19, bootstrap_probes=8)
+        sim.run_until(21_000.0)  # a few round-trips later
+        # The joiner predicts its latencies usefully already.
+        errors = []
+        for j in range(10):
+            predicted = gossip.nodes[19].predicted_rtt(gossip.coords_of(j))
+            errors.append(abs(predicted - matrix.latency(19, j)))
+        assert np.median(errors) < matrix.median()
+
+    def test_node_join_validation(self):
+        sim, matrix, network, gossip = build(n=10)
+        with pytest.raises(ValueError, match="already participates"):
+            gossip.add_node(0)
+        with pytest.raises(ValueError, match="outside"):
+            gossip.add_node(99)
+
+    def test_node_leave(self):
+        sim, matrix, network, gossip = build(n=10)
+        sim.run_until(1_000.0)
+        gossip.remove_node(3)
+        assert 3 not in gossip.nodes
+        # Gossip keeps running without the departed node.
+        sim.run_until(3_000.0)
+        assert np.all(gossip.planar_coords()[3] == 0)
+        with pytest.raises(ValueError, match="does not participate"):
+            gossip.remove_node(3)
+
+    def test_cannot_shrink_below_two(self):
+        matrix = small_matrix(n=5, seed=0)
+        network = Network(Simulator(), matrix)
+        gossip = CoordinateGossip(network, node_ids=[0, 1], period=100.0)
+        with pytest.raises(ValueError, match="two participants"):
+            gossip.remove_node(0)
+
+    def test_in_flight_sample_to_departed_node_dropped(self):
+        sim, matrix, network, gossip = build(n=10, period=100.0)
+        sim.run_until(500.0)
+        # Probes are in flight now; removing a node must not crash the
+        # pending _apply_sample events.
+        gossip.remove_node(5)
+        sim.run_until(2_000.0)
+
+    def test_crashed_nodes_do_not_gossip(self):
+        from repro.sim import FailureInjector
+        sim, matrix, network, gossip = build(n=10, period=100.0)
+        FailureInjector(network).crash_now(4)
+        before = gossip.full_coords()[4].copy()
+        sim.run_until(5_000.0)
+        # The crashed node's coordinate never moved; everyone else's did.
+        after = gossip.full_coords()
+        assert np.array_equal(after[4], before)
+        moved = sum(1 for i in range(10)
+                    if i != 4 and not np.array_equal(after[i], before))
+        assert moved >= 8
+
+    def test_subset_participation(self):
+        matrix = small_matrix(n=10, seed=0)
+        sim = Simulator(seed=0)
+        network = Network(sim, matrix)
+        gossip = CoordinateGossip(network, node_ids=[0, 1, 2], period=100.0)
+        sim.run_until(1_000.0)
+        coords = gossip.planar_coords()
+        # Non-participants stay at the origin.
+        assert np.all(coords[5] == 0)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.net.io."""
+
+import numpy as np
+import pytest
+
+from repro.net import LatencyMatrix, load_matrix, save_matrix
+from repro.net.planetlab import small_matrix
+
+
+class TestRoundtrip:
+    def test_npz_roundtrip(self, tmp_path):
+        m = small_matrix(n=12, seed=3)
+        path = str(tmp_path / "m.npz")
+        save_matrix(m, path)
+        loaded = load_matrix(path)
+        assert np.allclose(loaded.rtt, m.rtt)
+        assert loaded.names == m.names
+
+    def test_text_roundtrip(self, tmp_path):
+        m = small_matrix(n=8, seed=3)
+        path = str(tmp_path / "m.txt")
+        save_matrix(m, path)
+        loaded = load_matrix(path)
+        assert np.allclose(loaded.rtt, m.rtt, atol=1e-3)
+
+    def test_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            load_matrix("/nonexistent/matrix.npz")
+
+
+class TestCleaning:
+    def test_one_sided_missing_patched_from_reverse(self, tmp_path):
+        raw = np.array([
+            [0.0, -1.0, 30.0],
+            [20.0, 0.0, 10.0],
+            [30.0, 10.0, 0.0],
+        ])
+        path = str(tmp_path / "raw.txt")
+        np.savetxt(path, raw)
+        m = load_matrix(path)
+        assert m.latency(0, 1) == pytest.approx(20.0)
+
+    def test_asymmetric_measurements_averaged(self, tmp_path):
+        raw = np.array([
+            [0.0, 10.0],
+            [30.0, 0.0],
+        ])
+        path = str(tmp_path / "raw.txt")
+        np.savetxt(path, raw)
+        m = load_matrix(path)
+        assert m.latency(0, 1) == pytest.approx(20.0)
+
+    def test_fully_missing_pair_gets_median(self, tmp_path):
+        raw = np.array([
+            [0.0, -1.0, 30.0],
+            [-1.0, 0.0, 10.0],
+            [30.0, 10.0, 0.0],
+        ])
+        path = str(tmp_path / "raw.txt")
+        np.savetxt(path, raw)
+        m = load_matrix(path)
+        # Median of the finite off-diagonal values {30, 10, 30, 10} = 20.
+        assert m.latency(0, 1) == pytest.approx(20.0)
+
+    def test_diagonal_forced_to_zero(self, tmp_path):
+        raw = np.array([
+            [5.0, 10.0],
+            [10.0, 5.0],
+        ])
+        path = str(tmp_path / "raw.txt")
+        np.savetxt(path, raw)
+        m = load_matrix(path)
+        assert m.latency(0, 0) == 0.0
+
+    def test_all_missing_rejected(self, tmp_path):
+        raw = np.full((3, 3), -1.0)
+        path = str(tmp_path / "raw.txt")
+        np.savetxt(path, raw)
+        with pytest.raises(ValueError, match="finite"):
+            load_matrix(path)
+
+    def test_non_square_rejected(self, tmp_path):
+        path = str(tmp_path / "raw.txt")
+        np.savetxt(path, np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            load_matrix(path)

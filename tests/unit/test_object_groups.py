@@ -1,0 +1,138 @@
+"""Unit tests for object groups (the paper's virtual objects)."""
+
+import numpy as np
+import pytest
+
+from repro.coords import EuclideanSpace, embed_matrix
+from repro.core import ControllerConfig, MigrationPolicy
+from repro.net.planetlab import small_matrix
+from repro.sim import Simulator
+from repro.store import ReplicatedStore
+
+
+def build_store(seed=6, n=20):
+    matrix = small_matrix(n=n, seed=seed)
+    coords = embed_matrix(matrix, system="mds",
+                          space=EuclideanSpace(3)).coords
+    sim = Simulator(seed=seed)
+    store = ReplicatedStore(sim, matrix, tuple(range(6)), coords,
+                            selection="oracle")
+    return sim, matrix, store
+
+
+class TestGroupCreation:
+    def test_members_share_sites(self):
+        sim, matrix, store = build_store()
+        store.create_group("album", ["img-1", "img-2", "img-3"],
+                           initial_sites=[0, 2])
+        for key in ("img-1", "img-2", "img-3"):
+            assert store.installed_sites(key) == (0, 2)
+        assert store.group_members("album") == ("img-1", "img-2", "img-3")
+        # The group key also resolves for catalog queries.
+        assert store.installed_sites("album") == (0, 2)
+
+    def test_sized_members(self):
+        sim, matrix, store = build_store()
+        store.create_group("album", {"big": 4.0, "small": 0.5},
+                           initial_sites=[0])
+        assert store.object("big").size_gb == 4.0
+        assert store.object("small").size_gb == 0.5
+        # Migration cost model prices the whole group.
+        assert store.controller("album").cost_model.object_size_gb == 4.5
+
+    def test_group_key_is_not_an_object(self):
+        sim, matrix, store = build_store()
+        store.create_group("album", ["img-1"], initial_sites=[0])
+        with pytest.raises(KeyError, match="group, not an object"):
+            store.object("album")
+
+    def test_empty_group_rejected(self):
+        sim, matrix, store = build_store()
+        with pytest.raises(ValueError, match="at least one member"):
+            store.create_group("album", [], initial_sites=[0])
+
+    def test_duplicate_member_rejected(self):
+        sim, matrix, store = build_store()
+        store.create_object("img-1", initial_sites=[0])
+        with pytest.raises(ValueError, match="already exists"):
+            store.create_group("album", ["img-1"], initial_sites=[0])
+
+    def test_duplicate_group_key_rejected(self):
+        sim, matrix, store = build_store()
+        store.create_group("album", ["img-1"], initial_sites=[0])
+        with pytest.raises(ValueError, match="already exists"):
+            store.create_group("album", ["img-9"], initial_sites=[0])
+
+    def test_single_object_is_its_own_group(self):
+        sim, matrix, store = build_store()
+        store.create_object("solo", initial_sites=[1])
+        assert store.group_members("solo") == ("solo",)
+
+
+class TestGroupAccessAndVersions:
+    def test_reads_on_any_member_work(self):
+        sim, matrix, store = build_store()
+        store.create_group("album", ["img-1", "img-2"], initial_sites=[0, 1])
+        client = store.add_client(10)
+        client.read("img-1")
+        client.read("img-2")
+        sim.run()
+        keys = sorted(r.key for r in store.log.records)
+        assert keys == ["img-1", "img-2"]
+
+    def test_member_versions_independent(self):
+        sim, matrix, store = build_store()
+        store.create_group("album", ["img-1", "img-2"], initial_sites=[0, 1])
+        client = store.add_client(10)
+        client.write("img-1")
+        sim.run()
+        assert store.latest_version("img-1") == 1
+        assert store.latest_version("img-2") == 0
+
+    def test_accesses_pool_into_one_summary(self):
+        sim, matrix, store = build_store()
+        store.create_group(
+            "album", ["img-1", "img-2"], initial_sites=[0],
+            controller_config=ControllerConfig(k=1, max_micro_clusters=8))
+        client = store.add_client(10)
+        for _ in range(5):
+            client.read("img-1")
+            client.read("img-2")
+        sim.run()
+        report = store.run_epoch("album")
+        # All 10 accesses (both members) inform the shared summary.
+        assert report.accesses == 10
+
+
+class TestGroupMigration:
+    def test_group_migrates_as_one_unit(self):
+        sim, matrix, store = build_store()
+        store.create_group(
+            "album", ["img-1", "img-2"], initial_sites=[5],
+            controller_config=ControllerConfig(k=1, max_micro_clusters=8,
+                                               radius_floor=2.0),
+            policy=MigrationPolicy(min_relative_gain=0.01,
+                                   min_absolute_gain_ms=0.1))
+        clients = [store.add_client(i) for i in range(10, 16)]
+        for _ in range(10):
+            for c in clients:
+                c.read("img-1")
+        sim.run()
+        report = store.run_epoch("album")
+        sim.run()
+        if report.migrated:
+            new_sites = store.installed_sites("album")
+            # Both members moved together.
+            for key in ("img-1", "img-2"):
+                assert store.installed_sites(key) == new_sites
+                for s in new_sites:
+                    assert key in store.servers[s].replicas
+
+    def test_epoch_by_member_key_works(self):
+        sim, matrix, store = build_store()
+        store.create_group(
+            "album", ["img-1"], initial_sites=[0],
+            controller_config=ControllerConfig(k=1, max_micro_clusters=8))
+        report = store.run_epoch("img-1")
+        assert report.accesses == 0
+        assert store.epoch_reports("album") == store.epoch_reports("img-1")

@@ -1,0 +1,286 @@
+"""Unit tests for the discrete-event simulator substrate."""
+
+import numpy as np
+import pytest
+
+from repro.net import LatencyMatrix
+from repro.sim import EventQueue, Message, Network, Node, PeriodicProcess, Simulator
+
+
+def tiny_matrix():
+    rtt = np.array([
+        [0.0, 20.0, 80.0],
+        [20.0, 0.0, 60.0],
+        [80.0, 60.0, 0.0],
+    ])
+    return LatencyMatrix(rtt)
+
+
+class Recorder(Node):
+    """Test node that records every delivery with its arrival time."""
+
+    def __init__(self, network, node_id):
+        super().__init__(network, node_id)
+        self.received = []
+
+    def handle_message(self, message):
+        self.received.append((self.sim.now, message))
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(5.0, fired.append, (2,))
+        q.push(1.0, fired.append, (1,))
+        q.push(9.0, fired.append, (3,))
+        while q:
+            q.pop().fire()
+        assert fired == [1, 2, 3]
+
+    def test_fifo_for_equal_times(self):
+        q = EventQueue()
+        fired = []
+        for i in range(5):
+            q.push(1.0, fired.append, (i,))
+        while q:
+            q.pop().fire()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_cancelled_event_does_not_fire(self):
+        q = EventQueue()
+        fired = []
+        event = q.push(1.0, fired.append, (1,))
+        event.cancel()
+        q.pop().fire()
+        assert fired == []
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.clear()
+        assert len(q) == 0
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(10.0, lambda: times.append(sim.now))
+        sim.schedule(25.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [10.0, 25.0]
+        assert sim.events_processed == 2
+
+    def test_run_until_stops_and_sets_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, 1)
+        sim.schedule(100.0, fired.append, 2)
+        sim.run_until(50.0)
+        assert fired == [1]
+        assert sim.now == 50.0
+        sim.run_until(200.0)
+        assert fired == [1, 2]
+
+    def test_run_until_rejects_backwards(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            sim.run_until(5.0)
+
+    def test_schedule_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_rejects_past(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(sim.now)
+            if depth > 0:
+                sim.schedule(5.0, chain, depth - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run()
+        assert fired == [0.0, 5.0, 10.0, 15.0]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_named_rng_streams_are_stable(self):
+        a = Simulator(seed=7).rng("workload").integers(0, 1000, size=5)
+        b = Simulator(seed=7).rng("workload").integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_rng_streams_independent_of_request_order(self):
+        s1 = Simulator(seed=7)
+        s1.rng("other")
+        x1 = s1.rng("workload").integers(0, 1000, size=5)
+        s2 = Simulator(seed=7)
+        x2 = s2.rng("workload").integers(0, 1000, size=5)
+        assert np.array_equal(x1, x2)
+
+    def test_different_streams_differ(self):
+        sim = Simulator(seed=7)
+        a = sim.rng("a").integers(0, 10 ** 9)
+        b = sim.rng("b").integers(0, 10 ** 9)
+        assert a != b
+
+    def test_rng_streams_stable_across_processes(self):
+        # Stream derivation must not involve Python's randomized hash():
+        # the same seed has to reproduce the same simulation in any
+        # process (regression test for a PYTHONHASHSEED dependence).
+        import json
+        import subprocess
+        import sys
+
+        script = (
+            "import json, sys\n"
+            "from repro.sim import Simulator\n"
+            "sim = Simulator(seed=7)\n"
+            "print(json.dumps([int(sim.rng('workload').integers(0, 10**9))"
+            " for _ in range(3)]))\n"
+        )
+        outputs = []
+        for hash_seed in ("1", "99"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                capture_output=True, text=True, check=True)
+            outputs.append(json.loads(result.stdout))
+        assert outputs[0] == outputs[1]
+
+
+class TestNetwork:
+    def test_message_arrives_after_one_way_delay(self):
+        sim = Simulator()
+        net = Network(sim, tiny_matrix())
+        n0 = Recorder(net, 0)
+        n1 = Recorder(net, 1)
+        n0.send(1, "ping", payload="hello", size_bytes=100)
+        sim.run()
+        assert len(n1.received) == 1
+        arrival, msg = n1.received[0]
+        assert arrival == 10.0  # RTT 20 / 2
+        assert msg.payload == "hello"
+        assert msg.sender == 0 and msg.recipient == 1
+
+    def test_traffic_accounting(self):
+        sim = Simulator()
+        net = Network(sim, tiny_matrix())
+        n0 = Recorder(net, 0)
+        n2 = Recorder(net, 2)
+        n0.send(2, "data", size_bytes=500)
+        n2.send(0, "ack", size_bytes=50)
+        sim.run()
+        assert net.stats.bytes_sent == 550
+        assert net.stats.bytes_received == 550
+        assert net.per_node[0].bytes_sent == 500
+        assert net.per_node[0].bytes_received == 50
+        assert net.per_kind_bytes == {"data": 500, "ack": 50}
+
+    def test_duplicate_registration_rejected(self):
+        net = Network(Simulator(), tiny_matrix())
+        Recorder(net, 0)
+        with pytest.raises(ValueError, match="already registered"):
+            Recorder(net, 0)
+
+    def test_out_of_range_id_rejected(self):
+        net = Network(Simulator(), tiny_matrix())
+        with pytest.raises(ValueError, match="outside matrix"):
+            Recorder(net, 3)
+
+    def test_unknown_recipient_rejected(self):
+        net = Network(Simulator(), tiny_matrix())
+        n0 = Recorder(net, 0)
+        with pytest.raises(KeyError, match="unknown recipient"):
+            n0.send(1, "ping")
+
+    def test_base_node_handler_abstract(self):
+        net = Network(Simulator(), tiny_matrix())
+        node = Node(net, 0)
+        with pytest.raises(NotImplementedError):
+            node.handle_message(Message(0, 0, "x"))
+
+
+class TestPeriodicProcess:
+    def test_strict_period(self):
+        sim = Simulator()
+        times = []
+        PeriodicProcess(sim, 10.0, lambda: times.append(sim.now))
+        sim.run_until(35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_start_after_override(self):
+        sim = Simulator()
+        times = []
+        PeriodicProcess(sim, 10.0, lambda: times.append(sim.now), start_after=0.0)
+        sim.run_until(25.0)
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_stop_halts_ticks(self):
+        sim = Simulator()
+        times = []
+        proc = PeriodicProcess(sim, 10.0, lambda: times.append(sim.now))
+        sim.run_until(25.0)
+        proc.stop()
+        assert not proc.running
+        sim.run_until(100.0)
+        assert times == [10.0, 20.0]
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        ticks = []
+        proc = None
+
+        def cb():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                proc.stop()
+
+        proc = PeriodicProcess(sim, 5.0, cb)
+        sim.run_until(100.0)
+        assert len(ticks) == 2
+
+    def test_jitter_varies_intervals_within_bounds(self):
+        sim = Simulator(seed=1)
+        times = []
+        PeriodicProcess(sim, 10.0, lambda: times.append(sim.now),
+                        jitter=0.3, rng=sim.rng("jitter"))
+        sim.run_until(1000.0)
+        gaps = np.diff([0.0] + times)
+        assert np.all(gaps >= 7.0 - 1e-9)
+        assert np.all(gaps <= 13.0 + 1e-9)
+        assert np.std(gaps) > 0
+
+    def test_parameter_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="period"):
+            PeriodicProcess(sim, 0.0, lambda: None)
+        with pytest.raises(ValueError, match="jitter"):
+            PeriodicProcess(sim, 1.0, lambda: None, jitter=1.5)
+        with pytest.raises(ValueError, match="rng"):
+            PeriodicProcess(sim, 1.0, lambda: None, jitter=0.5)

@@ -1,0 +1,155 @@
+"""Unit tests for repro.net.topology and repro.net.planetlab."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    GeoTopology,
+    PlanetLabParams,
+    Region,
+    WORLD_REGIONS,
+    great_circle_km,
+    synthetic_planetlab_matrix,
+)
+
+
+class TestGreatCircle:
+    def test_zero_distance_same_point(self):
+        assert great_circle_km(10.0, 20.0, 10.0, 20.0) == pytest.approx(0.0)
+
+    def test_quarter_circumference(self):
+        # Pole to equator is a quarter of the circumference (~10 007 km).
+        d = great_circle_km(90.0, 0.0, 0.0, 0.0)
+        assert d == pytest.approx(10007.5, rel=0.01)
+
+    def test_symmetry(self):
+        d1 = great_circle_km(40.7, -74.0, 48.9, 2.4)
+        d2 = great_circle_km(48.9, 2.4, 40.7, -74.0)
+        assert d1 == pytest.approx(d2)
+
+    def test_nyc_paris_is_about_5800km(self):
+        d = great_circle_km(40.7, -74.0, 48.9, 2.4)
+        assert 5500 < d < 6100
+
+
+class TestRegion:
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError, match="latitude"):
+            Region("bad", 91.0, 0.0, weight=1.0)
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ValueError, match="longitude"):
+            Region("bad", 0.0, 181.0, weight=1.0)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            Region("bad", 0.0, 0.0, weight=0.0)
+
+    def test_rejects_nonpositive_spread(self):
+        with pytest.raises(ValueError, match="spread"):
+            Region("bad", 0.0, 0.0, weight=1.0, spread_deg=0.0)
+
+
+class TestGeoTopology:
+    def test_deterministic_with_seed(self):
+        t1 = GeoTopology(50, rng=np.random.default_rng(7))
+        t2 = GeoTopology(50, rng=np.random.default_rng(7))
+        assert np.array_equal(t1.lat, t2.lat)
+        assert np.array_equal(t1.lon, t2.lon)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            GeoTopology(0)
+
+    def test_rejects_no_regions(self):
+        with pytest.raises(ValueError, match="region"):
+            GeoTopology(5, regions=())
+
+    def test_coordinates_in_valid_range(self):
+        t = GeoTopology(200, rng=np.random.default_rng(3))
+        assert np.all(np.abs(t.lat) <= 90)
+        assert np.all(np.abs(t.lon) <= 180)
+
+    def test_distance_matrix_properties(self):
+        t = GeoTopology(20, rng=np.random.default_rng(3))
+        d = t.distance_km()
+        assert d.shape == (20, 20)
+        assert np.allclose(d, d.T)
+        assert np.all(np.diag(d) == 0)
+        assert np.all(d >= 0)
+
+    def test_region_names_resolve(self):
+        t = GeoTopology(10, rng=np.random.default_rng(3))
+        names = {r.name for r in WORLD_REGIONS}
+        for i in range(10):
+            assert t.region_name(i) in names
+
+    def test_same_region_matrix(self):
+        t = GeoTopology(30, rng=np.random.default_rng(3))
+        same = t.same_region()
+        assert np.all(np.diag(same))
+        assert np.array_equal(same, same.T)
+
+
+class TestSyntheticPlanetLab:
+    def test_default_size_is_226(self):
+        matrix, topo = synthetic_planetlab_matrix(seed=1)
+        assert matrix.n == 226
+        assert topo.n == 226
+
+    def test_seed_determinism(self):
+        m1, _ = synthetic_planetlab_matrix(seed=42)
+        m2, _ = synthetic_planetlab_matrix(seed=42)
+        assert np.array_equal(m1.rtt, m2.rtt)
+
+    def test_different_seeds_differ(self):
+        m1, _ = synthetic_planetlab_matrix(seed=1)
+        m2, _ = synthetic_planetlab_matrix(seed=2)
+        assert not np.array_equal(m1.rtt, m2.rtt)
+
+    def test_realistic_rtt_range(self):
+        matrix, _ = synthetic_planetlab_matrix(seed=5)
+        values = matrix.pair_values()
+        # Median pairwise RTT in the wide-area regime.
+        assert 40 < np.median(values) < 250
+        # A heavy tail exists but nothing absurd.
+        assert values.max() < 1500
+        assert values.min() > 0
+
+    def test_intra_region_faster_than_inter_region(self):
+        params = PlanetLabParams(n=120)
+        matrix, topo = synthetic_planetlab_matrix(params, seed=9)
+        same = topo.same_region()
+        iu = np.triu_indices(matrix.n, k=1)
+        intra = matrix.rtt[iu][same[iu]]
+        inter = matrix.rtt[iu][~same[iu]]
+        assert intra.size > 0 and inter.size > 0
+        assert np.median(intra) < np.median(inter) / 2
+
+    def test_triangle_violations_present(self):
+        matrix, _ = synthetic_planetlab_matrix(seed=11)
+        frac = matrix.triangle_violation_fraction(
+            sample=3000, rng=np.random.default_rng(0))
+        assert frac > 0.001
+
+    def test_small_configurations(self):
+        params = PlanetLabParams(n=10)
+        matrix, _ = synthetic_planetlab_matrix(params, seed=0)
+        assert matrix.n == 10
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            PlanetLabParams(n=1)
+        with pytest.raises(ValueError, match="stretch"):
+            PlanetLabParams(path_stretch=0.5)
+        with pytest.raises(ValueError, match="detour fraction"):
+            PlanetLabParams(detour_fraction=1.5)
+        with pytest.raises(ValueError, match="inflate"):
+            PlanetLabParams(detour_inflation=0.9)
+        with pytest.raises(ValueError, match="overhead"):
+            PlanetLabParams(node_overhead_range=(5.0, 1.0))
+
+    def test_topology_size_mismatch_rejected(self):
+        topo = GeoTopology(10, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="nodes"):
+            synthetic_planetlab_matrix(PlanetLabParams(n=20), seed=0, topology=topo)

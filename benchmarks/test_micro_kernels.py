@@ -5,17 +5,31 @@ pieces every experiment is built from so regressions are visible:
 
 * weighted k-means over micro-cluster pseudo-points,
 * the exhaustive optimal scan,
-* the event simulator's message throughput,
+* the event simulator's message throughput (with observability off —
+  the default no-op path — and on, so the instrumentation overhead is
+  itself a pinned, visible number),
 * the synthetic matrix generator.
+
+The observability-enabled throughput benchmark also emits its metrics
+registry as JSON next to this module (``metrics-micro_kernels.json``),
+so a benchmark run leaves machine-readable telemetry alongside the
+pytest-benchmark timings.
 """
+
+import pathlib
 
 import numpy as np
 import pytest
 
+from repro import obs
+from repro.analysis.export import metrics_to_json
 from repro.clustering import weighted_kmeans
 from repro.net import LatencyMatrix, PlanetLabParams, synthetic_planetlab_matrix
 from repro.placement import OptimalPlacement, PlacementProblem
 from repro.sim import Network, Node, Simulator
+
+#: Where the obs-enabled benchmark drops its metrics document.
+METRICS_OUT = pathlib.Path(__file__).parent / "metrics-micro_kernels.json"
 
 
 def test_weighted_kmeans_kernel(benchmark):
@@ -44,22 +58,54 @@ class _Echo(Node):
             self.send(message.sender, "pong")
 
 
+def _run_10k_messages():
+    sim = Simulator(seed=0)
+    net = Network(sim, matrix_50())
+    nodes = [_Echo(net, i) for i in range(50)]
+    for i in range(5_000):
+        nodes[i % 50].send((i + 1) % 50, "ping")
+    sim.run()
+    return sim.events_processed
+
+
+_MATRIX_50 = None
+
+
+def matrix_50():
+    global _MATRIX_50
+    if _MATRIX_50 is None:
+        rtt = np.full((50, 50), 20.0)
+        np.fill_diagonal(rtt, 0.0)
+        _MATRIX_50 = LatencyMatrix(rtt)
+    return _MATRIX_50
+
+
 def test_simulator_message_throughput(benchmark):
-    rtt = np.full((50, 50), 20.0)
-    np.fill_diagonal(rtt, 0.0)
-    matrix = LatencyMatrix(rtt)
-
-    def run_10k_messages():
-        sim = Simulator(seed=0)
-        net = Network(sim, matrix)
-        nodes = [_Echo(net, i) for i in range(50)]
-        for i in range(5_000):
-            nodes[i % 50].send((i + 1) % 50, "ping")
-        sim.run()
-        return sim.events_processed
-
-    events = benchmark(run_10k_messages)
+    # Observability off: this is the default no-op path every experiment
+    # runs on, so any regression here is instrumentation overhead that
+    # leaked into the disabled case.
+    events = benchmark(_run_10k_messages)
     assert events >= 10_000  # each ping produces a pong
+
+
+def test_simulator_message_throughput_obs_enabled(benchmark):
+    """Same workload with live metrics + tracing, to price the overhead.
+
+    Also checks the observability invariant: the simulation processes
+    exactly the same number of events with instrumentation on as off,
+    and emits the collected metrics as JSON alongside the results.
+    """
+    baseline_events = _run_10k_messages()
+
+    def run_instrumented():
+        with obs.observe() as (registry, tracer):
+            events = _run_10k_messages()
+        return events, registry, tracer
+
+    events, registry, tracer = benchmark(run_instrumented)
+    assert events == baseline_events  # obs must not perturb the sim
+    assert registry.counter("net.messages_delivered").value >= 10_000
+    metrics_to_json(registry, str(METRICS_OUT), tracer=tracer)
 
 
 def test_matrix_generation_kernel(benchmark):

@@ -4,6 +4,13 @@ CSV is long-form and lossy-but-convenient; the JSON round-trip
 (:func:`figure_to_json` / :func:`figure_from_json`) is lossless for a
 :class:`~repro.analysis.experiment.FigureResult`, so a regenerated
 figure can be diffed against an archived run.
+
+:func:`metrics_to_json` / :func:`metrics_to_csv` export a
+:class:`~repro.obs.MetricsRegistry` (and optionally a
+:class:`~repro.obs.Tracer` summary) — the ``--metrics-out`` CLI flag
+and the benchmark harness go through them.  The JSON document carries a
+``schema`` marker (``repro.obs/v1``) so downstream tooling can detect
+format drift.
 """
 
 from __future__ import annotations
@@ -14,9 +21,14 @@ from typing import Sequence
 
 from repro.analysis.experiment import FigureResult, Table2Row
 from repro.analysis.stats import SeriesPoint, Summary
+from repro.obs import MetricsRegistry, Tracer
 
 __all__ = ["figure_to_csv", "table2_to_csv", "figure_to_json",
-           "figure_from_json"]
+           "figure_from_json", "metrics_to_json", "metrics_to_csv",
+           "METRICS_SCHEMA"]
+
+#: Schema marker written into every metrics JSON document.
+METRICS_SCHEMA = "repro.obs/v1"
 
 
 def figure_to_csv(result: FigureResult, path: str) -> None:
@@ -75,6 +87,60 @@ def figure_from_json(path: str) -> FigureResult:
     }
     return FigureResult(payload["name"], payload["xlabel"],
                         payload["ylabel"], series)
+
+
+def metrics_to_json(registry: MetricsRegistry, path: str,
+                    tracer: Tracer | None = None,
+                    include_spans: bool = False) -> None:
+    """Write a metrics registry (and optional trace summary) as JSON.
+
+    The document layout::
+
+        {
+          "schema": "repro.obs/v1",
+          "counters":     {name: value, ...},
+          "gauges":       {name: value, ...},
+          "histograms":   {name: {bounds, bucket_counts, count, total,
+                                  mean, min, max}, ...},
+          "phase_timers": {name: {calls, total_seconds, mean_seconds,
+                                  max_seconds}, ...},
+          "trace":        {capacity, recorded, retained, dropped,
+                           kinds: {...}}        # when a tracer is given
+        }
+    """
+    payload: dict = {"schema": METRICS_SCHEMA, **registry.snapshot()}
+    if tracer is not None:
+        payload["trace"] = tracer.snapshot(include_spans=include_spans)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def metrics_to_csv(registry: MetricsRegistry, path: str) -> None:
+    """Write a metrics registry as long-form CSV.
+
+    Columns: ``kind, name, field, value`` — counters and gauges get one
+    ``value`` row; histograms and timers one row per scalar statistic,
+    plus ``bucket_le_<bound>`` rows for histogram buckets.
+    """
+    snap = registry.snapshot()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["kind", "name", "field", "value"])
+        for name, value in snap["counters"].items():
+            writer.writerow(["counter", name, "value", value])
+        for name, value in snap["gauges"].items():
+            writer.writerow(["gauge", name, "value", value])
+        for name, hist in snap["histograms"].items():
+            for stat in ("count", "total", "mean", "min", "max"):
+                writer.writerow(["histogram", name, stat, hist[stat]])
+            bounds = [*hist["bounds"], "inf"]
+            for bound, count in zip(bounds, hist["bucket_counts"]):
+                writer.writerow(["histogram", name, f"bucket_le_{bound}",
+                                 count])
+        for name, timer in snap["phase_timers"].items():
+            for stat in ("calls", "total_seconds", "mean_seconds",
+                         "max_seconds"):
+                writer.writerow(["phase_timer", name, stat, timer[stat]])
 
 
 def table2_to_csv(rows: Sequence[Table2Row], path: str) -> None:

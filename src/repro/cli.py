@@ -12,8 +12,11 @@ Usage::
 
 Common options: ``--nodes`` ``--runs`` ``--coord-system`` ``--seed``
 ``--candidate-mode`` scale the experiment; ``--csv FILE`` exports the
-series next to the printed table.  Defaults reproduce the paper's
-full-size setting (226 nodes, 30 runs, RNP coordinates).
+series next to the printed table; ``--metrics-out FILE`` switches on
+the :mod:`repro.obs` observability layer for the run and dumps its
+metrics registry (counters, histograms, phase timers) plus a trace
+summary as JSON (see ``docs/observability.md``).  Defaults reproduce
+the paper's full-size setting (226 nodes, 30 runs, RNP coordinates).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.analysis import (
     EvaluationSetting,
     format_figure,
@@ -33,11 +37,17 @@ from repro.analysis import (
     run_table2,
 )
 from repro.analysis.charts import render_chart
-from repro.analysis.export import figure_to_csv, table2_to_csv
+from repro.analysis.export import figure_to_csv, metrics_to_json, table2_to_csv
 from repro.analysis.reportgen import generate_report
 from repro.net import PlanetLabParams, save_matrix, synthetic_planetlab_matrix
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="enable observability and write the metrics "
+                             "registry (and trace summary) as JSON")
 
 
 def _add_setting_args(parser: argparse.ArgumentParser) -> None:
@@ -56,6 +66,7 @@ def _add_setting_args(parser: argparse.ArgumentParser) -> None:
                         help="also export the result as CSV")
     parser.add_argument("--chart", action="store_true",
                         help="also draw an ASCII chart of the series")
+    _add_metrics_arg(parser)
 
 
 def _setting(args: argparse.Namespace) -> EvaluationSetting:
@@ -159,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="micro-clusters per replica (paper example: 100)")
     pt.add_argument("--seed", type=int, default=0)
     pt.add_argument("--csv", default=None, metavar="FILE")
+    _add_metrics_arg(pt)
     pt.set_defaults(func=_cmd_table2)
 
     pc = sub.add_parser("coords", help="coordinate-system ablation")
@@ -177,16 +189,32 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--seed", type=int, default=0)
     pm.add_argument("--out", required=True, metavar="FILE",
                     help=".npz or text destination")
+    _add_metrics_arg(pm)
     pm.set_defaults(func=_cmd_matrix)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    With ``--metrics-out FILE``, observability is switched on for the
+    duration of the command and the resulting metrics registry (plus a
+    trace summary) is written to ``FILE`` as JSON — even when the
+    command itself fails, so a crashed run still leaves its telemetry.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not metrics_out:
+        return args.func(args)
+    with obs.observe() as (registry, tracer):
+        try:
+            code = args.func(args)
+        finally:
+            metrics_to_json(registry, metrics_out, tracer=tracer)
+    print(f"wrote {metrics_out}")
+    return code
 
 
 if __name__ == "__main__":

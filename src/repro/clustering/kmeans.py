@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+
 __all__ = ["KMeansResult", "kmeans_pp_init", "weighted_kmeans"]
 
 
@@ -144,12 +146,17 @@ def weighted_kmeans(points: np.ndarray, k: int,
         labels = np.arange(n)
         return KMeansResult(centroids, labels, 0.0, 0)
 
+    registry = obs.get_registry()
     best: KMeansResult | None = None
-    for _ in range(max(1, n_init)):
-        result = _lloyd(points, k, weights, rng, max_iter, tol)
-        if best is None or result.inertia < best.inertia:
-            best = result
+    with registry.phase("clustering.kmeans"):
+        for _ in range(max(1, n_init)):
+            result = _lloyd(points, k, weights, rng, max_iter, tol)
+            if best is None or result.inertia < best.inertia:
+                best = result
     assert best is not None
+    if registry.enabled:
+        registry.counter("clustering.kmeans.runs").inc()
+        registry.counter("clustering.kmeans.iterations").inc(best.iterations)
     return best
 
 

@@ -26,6 +26,8 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro import obs
+
 __all__ = ["ClusterFeature", "OnlineClusterer"]
 
 
@@ -178,9 +180,13 @@ class OnlineClusterer:
         """Process one stream point per the paper's maintenance rule."""
         point = np.asarray(point, dtype=float)
         self.points_seen += 1
+        registry = obs.get_registry()
         if not self.clusters:
             self.clusters.append(ClusterFeature.from_point(point, weight))
             self._rebuild_cache()
+            if registry.enabled:
+                registry.counter("clustering.micro.spawned").inc()
+                obs.get_tracer().record(obs.MICRO_SPAWN, clusters=1)
             return
 
         assert self._centroid_cache is not None
@@ -193,10 +199,18 @@ class OnlineClusterer:
         if distance <= radius:
             cluster.absorb(point, weight)
             self._centroid_cache[nearest] = cluster.centroid
+            if registry.enabled:
+                registry.counter("clustering.micro.absorbed").inc()
+                obs.get_tracer().record(obs.MICRO_ABSORB, cluster=nearest,
+                                        distance=distance)
             return
 
         self.clusters.append(ClusterFeature.from_point(point, weight))
         self._centroid_cache = np.vstack([self._centroid_cache, point])
+        if registry.enabled:
+            registry.counter("clustering.micro.spawned").inc()
+            obs.get_tracer().record(obs.MICRO_SPAWN,
+                                    clusters=len(self.clusters))
         if len(self.clusters) > self.max_clusters:
             self._merge_closest_pair()
 
@@ -215,6 +229,11 @@ class OnlineClusterer:
         del self.clusters[drop]
         self._centroid_cache = np.delete(centroids, drop, axis=0)
         self._centroid_cache[keep] = self.clusters[keep].centroid
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("clustering.micro.merged").inc()
+            obs.get_tracer().record(obs.MICRO_MERGE, kept=keep, dropped=drop,
+                                    clusters=len(self.clusters))
 
     def snapshot(self) -> list[ClusterFeature]:
         """Deep copies of the current micro-clusters (for shipping)."""

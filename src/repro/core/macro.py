@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.clustering.kmeans import weighted_kmeans
 from repro.clustering.stream import ClusterFeature
 
@@ -183,6 +184,27 @@ def place_replicas(micro_clusters: Sequence[ClusterFeature], k: int,
     and give each the nearest *unused* candidate — the heaviest
     population wins the contended site, later ones take the runner-up.
     """
+    registry = obs.get_registry()
+    with registry.phase("macro.place_replicas"):
+        decision = _place_replicas(micro_clusters, k, dc_coords, rng,
+                                   use_bytes_weight, dc_heights,
+                                   refine_swaps, dc_capacities)
+    if registry.enabled:
+        registry.counter("macro.rounds").inc()
+        obs.get_tracer().record(
+            obs.MACRO_ROUND, k=len(decision.data_centers),
+            micro_clusters=len(micro_clusters),
+            predicted_delay=decision.predicted_delay)
+    return decision
+
+
+def _place_replicas(micro_clusters: Sequence[ClusterFeature], k: int,
+                    dc_coords: np.ndarray,
+                    rng: np.random.Generator | None,
+                    use_bytes_weight: bool,
+                    dc_heights: np.ndarray | None,
+                    refine_swaps: bool,
+                    dc_capacities: np.ndarray | None) -> PlacementDecision:
     dc_coords = np.atleast_2d(np.asarray(dc_coords, dtype=float))
     n_dc = dc_coords.shape[0]
     if n_dc == 0:

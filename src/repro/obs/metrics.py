@@ -1,0 +1,568 @@
+"""Metric instruments: counters, gauges, histograms and phase timers.
+
+All instruments are *additive*: two registries populated by independent
+workers (or two histograms filled from disjoint sample streams) merge by
+summation, exactly like the paper's micro-cluster CF vectors merge by
+adding their components.  That makes per-node metrics safe to pool at a
+coordinator without losing information.
+
+Instruments are cheap enough to leave compiled into hot paths: the
+default registry (:data:`NULL_REGISTRY`) is a no-op whose ``enabled``
+flag lets callers skip even the dictionary lookups, so an uninstrumented
+run pays one attribute check per instrumented call site.
+
+Examples
+--------
+>>> registry = MetricsRegistry()
+>>> registry.counter("accesses.served").inc(3)
+>>> registry.histogram("access.delay_ms").observe(12.5)
+>>> registry.counter("accesses.served").value
+3.0
+>>> registry.histogram("access.delay_ms").count
+1
+"""
+
+from __future__ import annotations
+
+import bisect
+from time import perf_counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PhaseTimer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BOUNDS_MS",
+]
+
+#: Default histogram bucket upper bounds for latency-like values, in
+#: milliseconds.  Spans sub-millisecond local traffic to multi-second
+#: WAN transfers; values above the last bound land in the overflow
+#: bucket.
+DEFAULT_LATENCY_BOUNDS_MS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1_000.0, 2_000.0, 5_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    >>> c = Counter("reads")
+    >>> c.inc(); c.inc(2.0)
+    >>> c.value
+    3.0
+    """
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's total into this one (additive)."""
+        self.value += other.value
+
+    def snapshot(self) -> float:
+        """JSON-safe current value."""
+        return float(self.value)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (e.g. bytes currently in flight).
+
+    >>> g = Gauge("replicas.installed")
+    >>> g.set(3); g.inc(); g.dec(2)
+    >>> g.value
+    2.0
+    """
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self.value -= amount
+
+    def merge(self, other: "Gauge") -> None:
+        """Merging gauges keeps the last-written value of ``other``."""
+        self.value = other.value
+
+    def snapshot(self) -> float:
+        """JSON-safe current value."""
+        return float(self.value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram that merges by addition.
+
+    Bucket ``i`` counts samples ``v`` with ``bounds[i-1] < v <=
+    bounds[i]`` (Prometheus-style ``le`` semantics); one extra overflow
+    bucket holds everything above the last bound.  Because the bucket
+    layout is fixed at construction, two histograms with the same bounds
+    merge *exactly* — component-wise addition, the same algebra as a
+    micro-cluster CF vector — so per-node histograms can be pooled at a
+    coordinator losslessly.
+
+    >>> h = Histogram("delay", bounds=(10.0, 100.0))
+    >>> for v in (5.0, 50.0, 500.0): h.observe(v)
+    >>> h.bucket_counts
+    [1, 1, 1]
+    >>> h.count, h.total
+    (3, 555.0)
+    """
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "count",
+                 "total", "min", "max", "_bounds_array")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS_MS,
+                 help: str = "") -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._bounds_array = np.asarray(bounds, dtype=float)
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of samples (vectorized)."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self._bounds_array, values, side="left")
+        per_bucket = np.bincount(idx, minlength=len(self.bucket_counts))
+        for i, n in enumerate(per_bucket):
+            self.bucket_counts[i] += int(n)
+        self.count += int(values.size)
+        self.total += float(values.sum())
+        lo, hi = float(values.min()), float(values.max())
+        if self.min is None or lo < self.min:
+            self.min = lo
+        if self.max is None or hi > self.max:
+            self.max = hi
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (requires identical bounds)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def copy(self) -> "Histogram":
+        """Independent deep copy."""
+        clone = Histogram(self.name, self.bounds, self.help)
+        clone.merge(self)
+        return clone
+
+    def approx_quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (0 <= q <= 1).
+
+        Exact at bucket edges; linear within a bucket.  The overflow
+        bucket is clamped to the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = self.min if self.min is not None else 0.0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            upper = (self.bounds[i] if i < len(self.bounds)
+                     else (self.max if self.max is not None else lower))
+            lo = max(lower, self.min or lower)
+            if cumulative + n >= target:
+                frac = (target - cumulative) / n
+                return lo + (upper - lo) * min(max(frac, 0.0), 1.0)
+            cumulative += n
+            lower = upper
+        return self.max if self.max is not None else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary (bounds, bucket counts, scalar stats)."""
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"mean={self.mean:.3f})")
+
+
+class _Timing:
+    """Context manager that records one wall-clock interval."""
+
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: "PhaseTimer") -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timing":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._timer.record(perf_counter() - self._start)
+
+
+class PhaseTimer:
+    """Accumulated wall-clock time of one named phase.
+
+    Timers use ``time.perf_counter`` — *wall* time, never simulated
+    time — so they answer "where do the real CPU seconds go" (the
+    paper's Table II overhead question), not "how long did the
+    simulation pretend this took".
+
+    >>> t = PhaseTimer("macro.place_replicas")
+    >>> with t.time():
+    ...     _ = sum(range(1000))
+    >>> t.calls
+    1
+    >>> t.total_seconds > 0
+    True
+    """
+
+    __slots__ = ("name", "help", "calls", "total_seconds", "max_seconds",
+                 "last_seconds")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.calls = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self.last_seconds = 0.0
+
+    def time(self) -> _Timing:
+        """A context manager timing one phase execution."""
+        return _Timing(self)
+
+    def record(self, seconds: float) -> None:
+        """Record one measured interval directly."""
+        self.calls += 1
+        self.total_seconds += seconds
+        self.last_seconds = seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean seconds per call (0.0 when never called)."""
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's accumulation into this one."""
+        self.calls += other.calls
+        self.total_seconds += other.total_seconds
+        self.last_seconds = other.last_seconds
+        if other.max_seconds > self.max_seconds:
+            self.max_seconds = other.max_seconds
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary."""
+        return {
+            "calls": self.calls,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "max_seconds": self.max_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (f"PhaseTimer({self.name!r}, calls={self.calls}, "
+                f"total={self.total_seconds:.6f}s)")
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name belongs to exactly one instrument kind; asking for the same
+    name with a different kind raises ``ValueError``.  Registries merge
+    additively (see :meth:`merge`), so per-worker registries pool into a
+    global one without coordination.
+
+    >>> r = MetricsRegistry()
+    >>> r.counter("x").inc()
+    >>> r.counter("x").value       # same instrument on re-request
+    1.0
+    >>> with r.phase("setup"):
+    ...     pass
+    >>> r.timer("setup").calls
+    1
+    """
+
+    #: Instrument calls guarded by ``if registry.enabled:`` are skipped
+    #: entirely on the no-op registry.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._timers: dict[str, PhaseTimer] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (get-or-create)
+    # ------------------------------------------------------------------
+    def _claim(self, name: str, kind: str) -> None:
+        owners = {"counter": self._counters, "gauge": self._gauges,
+                  "histogram": self._histograms, "timer": self._timers}
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}")
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._claim(name, "counter")
+            instrument = self._counters[name] = Counter(name, help)
+        return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._claim(name, "gauge")
+            instrument = self._gauges[name] = Gauge(name, help)
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS_MS,
+                  help: str = "") -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._claim(name, "histogram")
+            instrument = self._histograms[name] = Histogram(name, bounds, help)
+        return instrument
+
+    def timer(self, name: str, help: str = "") -> PhaseTimer:
+        """The phase timer called ``name`` (created on first use)."""
+        instrument = self._timers.get(name)
+        if instrument is None:
+            self._claim(name, "timer")
+            instrument = self._timers[name] = PhaseTimer(name, help)
+        return instrument
+
+    def phase(self, name: str) -> _Timing:
+        """Shorthand: a timing context on the timer called ``name``."""
+        return self.timer(name).time()
+
+    # ------------------------------------------------------------------
+    # Aggregation and export
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (additive, like CF vectors)."""
+        for name, counter in other._counters.items():
+            self.counter(name, counter.help).merge(counter)
+        for name, gauge in other._gauges.items():
+            self.gauge(name, gauge.help).merge(gauge)
+        for name, hist in other._histograms.items():
+            self.histogram(name, hist.bounds, hist.help).merge(hist)
+        for name, timer in other._timers.items():
+            self.timer(name, timer.help).merge(timer)
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every instrument, grouped by kind."""
+        return {
+            "counters": {n: c.snapshot()
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.snapshot()
+                       for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.snapshot()
+                           for n, h in sorted(self._histograms.items())},
+            "phase_timers": {n: t.snapshot()
+                             for n, t in sorted(self._timers.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._timers.clear()
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)}, "
+                f"timers={len(self._timers)})")
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        pass
+
+
+class _NullTiming:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTiming":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+class _NullTimer(PhaseTimer):
+    __slots__ = ()
+
+    def time(self) -> _NullTiming:
+        return _NULL_TIMING
+
+    def record(self, seconds: float) -> None:
+        pass
+
+
+_NULL_TIMING = _NullTiming()
+
+
+class NullRegistry(MetricsRegistry):
+    """The default, disabled registry: every instrument is a shared no-op.
+
+    Instrumented code can call through it safely; nothing is recorded
+    and nothing accumulates, so leaving instrumentation compiled into
+    hot paths costs (at most) one method call per site — or nothing at
+    all behind an ``if registry.enabled:`` guard.
+
+    >>> NULL_REGISTRY.counter("anything").inc(10)
+    >>> NULL_REGISTRY.counter("anything").value
+    0.0
+    >>> NULL_REGISTRY.enabled
+    False
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null", bounds=(1.0,))
+        self._null_timer = _NullTimer("null")
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS_MS,
+                  help: str = "") -> Histogram:
+        return self._null_histogram
+
+    def timer(self, name: str, help: str = "") -> PhaseTimer:
+        return self._null_timer
+
+    def phase(self, name: str) -> _NullTiming:
+        return _NULL_TIMING
+
+    def merge(self, other: MetricsRegistry) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {},
+                "phase_timers": {}}
+
+
+#: Shared disabled registry — the process-wide default.
+NULL_REGISTRY = NullRegistry()

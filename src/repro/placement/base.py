@@ -8,6 +8,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.net.latency import LatencyMatrix
 
 __all__ = ["PlacementProblem", "PlacementStrategy", "average_access_delay"]
@@ -157,4 +158,9 @@ def average_access_delay(matrix: LatencyMatrix, clients: Sequence[int],
     if not clients or not sites:
         raise ValueError("clients and sites must be non-empty")
     block = matrix.rows(clients, sites)
-    return float(block.min(axis=1).mean())
+    per_client = block.min(axis=1)
+    registry = obs.get_registry()
+    if registry.enabled:
+        registry.counter("accesses.served").inc(len(clients))
+        registry.histogram("access.delay_ms").observe_many(per_client)
+    return float(per_client.mean())

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.macro import place_replicas
 from repro.core.summarizer import ReplicaAccessSummary
 from repro.placement.base import PlacementProblem, PlacementStrategy
@@ -75,6 +76,18 @@ class OnlineClusteringPlacement(PlacementStrategy):
 
     def place(self, problem: PlacementProblem,
               rng: np.random.Generator) -> tuple[int, ...]:
+        registry = obs.get_registry()
+        with registry.phase("placement.online.place"):
+            sites = self._place(problem, rng)
+        if registry.enabled:
+            registry.counter("placement.online.rounds").inc(
+                self.migration_rounds)
+            registry.counter("placement.online.summary_bytes").inc(
+                self.last_summary_bytes)
+        return sites
+
+    def _place(self, problem: PlacementProblem,
+               rng: np.random.Generator) -> tuple[int, ...]:
         coords = problem.require_coords()
         candidate_coords = problem.candidate_coords()
         client_coords = problem.client_coords()

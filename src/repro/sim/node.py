@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import obs
 from repro.net.bandwidth import BandwidthModel
 from repro.net.latency import LatencyMatrix
 from repro.sim.simulator import Simulator
@@ -102,6 +103,10 @@ class Network:
         if message.sender in self._down:
             self.messages_dropped += 1
             return
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("net.messages_sent").inc()
+            registry.counter("net.bytes_sent").inc(message.size_bytes)
         self.stats.record_send(message.size_bytes)
         self.per_node[message.sender].record_send(message.size_bytes)
         self.per_kind_bytes[message.kind] = (
@@ -120,6 +125,11 @@ class Network:
         if message.recipient in self._down:
             self.messages_dropped += 1
             return
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("net.messages_delivered").inc()
+            registry.histogram("net.delivery_delay_ms").observe(
+                self.sim.now - message.sent_at)
         self.stats.record_receive(message.size_bytes)
         self.per_node[message.recipient].record_receive(message.size_bytes)
         node.handle_message(message)

@@ -19,6 +19,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import obs
 from repro.sim.events import Event, EventQueue
 
 __all__ = ["Simulator"]
@@ -91,12 +92,16 @@ class Simulator:
 
     def run(self, max_events: int | None = None) -> None:
         """Drain the queue (optionally bounded by ``max_events``)."""
+        registry = obs.get_registry()
         count = 0
-        while self.queue:
-            if max_events is not None and count >= max_events:
-                return
-            self.step()
-            count += 1
+        with registry.phase("sim.run"):
+            while self.queue:
+                if max_events is not None and count >= max_events:
+                    break
+                self.step()
+                count += 1
+        if registry.enabled:
+            registry.counter("sim.events_processed").inc(count)
 
     def run_until(self, time: float) -> None:
         """Process events up to and including simulated ``time``.
@@ -106,6 +111,12 @@ class Simulator:
         """
         if time < self.now:
             raise ValueError("cannot run backwards")
-        while self.queue and self.queue.peek_time() <= time:
-            self.step()
+        registry = obs.get_registry()
+        count = 0
+        with registry.phase("sim.run"):
+            while self.queue and self.queue.peek_time() <= time:
+                self.step()
+                count += 1
         self.now = time
+        if registry.enabled:
+            registry.counter("sim.events_processed").inc(count)

@@ -31,6 +31,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.controller import (
     ControllerConfig,
     EpochReport,
@@ -249,6 +250,9 @@ class StorageClient(Node):
                 or not untried):
             del self._pending_reads[request_id]
             self.store.failed_reads += 1
+            registry = obs.get_registry()
+            if registry.enabled:
+                registry.counter("store.read_timeouts").inc()
             self.store.log.append(AccessRecord(
                 time=self.sim.now, client=self.node_id, server=-1,
                 key=pending.key, delay_ms=self.sim.now - pending.issued_at,
@@ -295,6 +299,15 @@ class StorageClient(Node):
         version = max(pending.versions)
         freshest_server = pending.servers[int(np.argmax(pending.versions))]
         delay = self.sim.now - pending.issued_at
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("accesses.served").inc()
+            registry.counter("store.reads").inc()
+            registry.histogram("access.delay_ms").observe(delay)
+            obs.get_tracer().record(
+                obs.ACCESS_SERVED, time=self.sim.now, op="read",
+                client=self.node_id, server=freshest_server,
+                key=pending.key, delay_ms=delay)
         self.store.log.append(AccessRecord(
             time=self.sim.now, client=self.node_id, server=freshest_server,
             key=pending.key, delay_ms=delay, kind="read", version=version,
@@ -307,9 +320,19 @@ class StorageClient(Node):
         if pending is None:
             return
         key, issued_at = pending
+        delay = self.sim.now - issued_at
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("accesses.served").inc()
+            registry.counter("store.writes").inc()
+            registry.histogram("access.delay_ms").observe(delay)
+            obs.get_tracer().record(
+                obs.ACCESS_SERVED, time=self.sim.now, op="write",
+                client=self.node_id, server=message.sender,
+                key=key, delay_ms=delay)
         self.store.log.append(AccessRecord(
             time=self.sim.now, client=self.node_id, server=message.sender,
-            key=key, delay_ms=self.sim.now - issued_at, kind="write",
+            key=key, delay_ms=delay, kind="write",
             version=message.payload["version"],
         ))
 
@@ -412,6 +435,9 @@ class ReplicatedStore:
         self._unit_of: dict[str, str] = {}   # member key -> unit key
         #: Coordinator for summary traffic: the first candidate.
         self.coordinator = self.candidates[0]
+        # Stamp spans (including micro-cluster events emitted deep in
+        # the clustering layer) with this simulation's clock.
+        obs.get_tracer().bind_clock(lambda: self.sim.now)
         if auto_repair:
             PeriodicProcess(sim, repair_period_ms, self._check_availability)
 
@@ -676,9 +702,14 @@ class ReplicatedStore:
     def run_epoch(self, unit_key: str) -> EpochReport:
         """Run one placement epoch for a unit (Algorithm 1 + policy)."""
         unit = self._unit_of_key(unit_key)
+        registry = obs.get_registry()
         # Refresh candidate coordinates: with live gossip they drift.
         unit.controller.dc_coords = self.planar_coords()[list(self.candidates)]
-        report = unit.controller.run_epoch(self.sim.rng(f"epoch-{unit.unit_key}"))
+        with registry.phase("store.epoch"):
+            report = unit.controller.run_epoch(
+                self.sim.rng(f"epoch-{unit.unit_key}"))
+        if registry.enabled:
+            registry.counter("store.epochs").inc()
         unit.epoch_reports.append(report)
         # Charge the summary shipping to the network.
         if report.summary_bytes > 0:
@@ -699,6 +730,15 @@ class ReplicatedStore:
         new_sites = {self.candidates[p] for p in new_positions}
         unit.target = new_sites
         unit.awaiting = new_sites - unit.installed
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("store.migrations.started").inc()
+            registry.counter("store.migration_bytes").inc(
+                unit.total_size_bytes * len(unit.awaiting))
+            obs.get_tracer().record(
+                obs.MIGRATION_START, time=self.sim.now, unit=unit_key,
+                sources=sorted(unit.installed), targets=sorted(new_sites),
+                transfers=len(unit.awaiting))
         if not unit.awaiting:
             # Pure shrink (or reorder): retire immediately.
             self._finalize_migration(unit_key)
@@ -730,6 +770,12 @@ class ReplicatedStore:
                 self.servers[site].drop(key)
         unit.installed = set(unit.target)
         unit.target = None
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("store.migrations.finished").inc()
+            obs.get_tracer().record(
+                obs.MIGRATION_FINISH, time=self.sim.now, unit=unit_key,
+                sites=sorted(unit.installed))
 
     # ------------------------------------------------------------------
     # Availability: failure handling and re-replication

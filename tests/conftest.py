@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Makes ``python -m pytest`` work from the repository root without the
+``PYTHONPATH=src`` incantation by prepending ``src/`` to ``sys.path``
+(the documented tier-1 command keeps working — the explicit PYTHONPATH
+entry is then simply redundant).
+"""
+
+import os
+import sys
+
+_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

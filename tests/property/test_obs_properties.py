@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the observability instruments.
+
+The histogram is designed around the same algebra as a micro-cluster CF
+vector: merging is component-wise addition, so it must be associative
+and commutative, and the scalar statistics must stay consistent with
+the buckets under arbitrary observation streams.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Counter, Histogram, MetricsRegistry, PhaseTimer
+
+# Sample values spanning underflow, every default bucket, and overflow.
+sample = st.floats(min_value=0.0, max_value=1e7,
+                   allow_nan=False, allow_infinity=False)
+samples = st.lists(sample, max_size=200)
+
+# Strictly increasing bucket bounds.
+bounds_strategy = st.lists(
+    st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=12, unique=True).map(lambda b: tuple(sorted(b)))
+
+
+def _hist(values, bounds):
+    h = Histogram("h", bounds=bounds)
+    h.observe_many(values)
+    return h
+
+
+def _assert_equal(a: Histogram, b: Histogram) -> None:
+    assert a.bucket_counts == b.bucket_counts
+    assert a.count == b.count
+    assert abs(a.total - b.total) <= 1e-6 * max(1.0, abs(a.total))
+    assert a.min == b.min and a.max == b.max
+
+
+@given(bounds_strategy, samples, samples)
+@settings(max_examples=60)
+def test_histogram_merge_commutative(bounds, xs, ys):
+    ab = _hist(xs, bounds)
+    ab.merge(_hist(ys, bounds))
+    ba = _hist(ys, bounds)
+    ba.merge(_hist(xs, bounds))
+    _assert_equal(ab, ba)
+
+
+@given(bounds_strategy, samples, samples, samples)
+@settings(max_examples=60)
+def test_histogram_merge_associative(bounds, xs, ys, zs):
+    # (x + y) + z
+    left = _hist(xs, bounds)
+    left.merge(_hist(ys, bounds))
+    left.merge(_hist(zs, bounds))
+    # x + (y + z)
+    inner = _hist(ys, bounds)
+    inner.merge(_hist(zs, bounds))
+    right = _hist(xs, bounds)
+    right.merge(inner)
+    _assert_equal(left, right)
+
+
+@given(bounds_strategy, samples, samples)
+@settings(max_examples=60)
+def test_histogram_merge_equals_pooled_stream(bounds, xs, ys):
+    # Merging two histograms is exactly observing the concatenation:
+    # the lossless-pooling claim the CF-style design rests on.
+    merged = _hist(xs, bounds)
+    merged.merge(_hist(ys, bounds))
+    pooled = _hist(xs + ys, bounds)
+    _assert_equal(merged, pooled)
+
+
+@given(bounds_strategy, samples)
+@settings(max_examples=60)
+def test_histogram_count_equals_bucket_sum(bounds, xs):
+    h = _hist(xs, bounds)
+    assert h.count == sum(h.bucket_counts) == len(xs)
+
+
+@given(bounds_strategy, samples)
+@settings(max_examples=60)
+def test_histogram_observe_many_matches_observe(bounds, xs):
+    many = _hist(xs, bounds)
+    one = Histogram("h", bounds=bounds)
+    for x in xs:
+        one.observe(x)
+    _assert_equal(many, one)
+
+
+@given(bounds_strategy, samples)
+@settings(max_examples=60)
+def test_histogram_every_sample_lands_in_exactly_one_bucket(bounds, xs):
+    h = _hist(xs, bounds)
+    # Cumulative bucket counts must match the "le" definition exactly.
+    cumulative = 0
+    for bound, n in zip(h.bounds, h.bucket_counts):
+        cumulative += n
+        assert cumulative == sum(1 for x in xs if x <= bound)
+    assert cumulative + h.bucket_counts[-1] == len(xs)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                max_size=50),
+       st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                max_size=50))
+@settings(max_examples=50)
+def test_counter_merge_commutative(xs, ys):
+    a, b = Counter("c"), Counter("c")
+    for x in xs:
+        a.inc(x)
+    for y in ys:
+        b.inc(y)
+    a_then_b = Counter("c")
+    a_then_b.merge(a)
+    a_then_b.merge(b)
+    b_then_a = Counter("c")
+    b_then_a.merge(b)
+    b_then_a.merge(a)
+    assert abs(a_then_b.value - b_then_a.value) <= 1e-6
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+                max_size=30))
+@settings(max_examples=50)
+def test_phase_timer_merge_matches_pooled_records(durations):
+    half = len(durations) // 2
+    a, b, pooled = PhaseTimer("t"), PhaseTimer("t"), PhaseTimer("t")
+    for d in durations[:half]:
+        a.record(d)
+    for d in durations[half:]:
+        b.record(d)
+    for d in durations:
+        pooled.record(d)
+    a.merge(b)
+    assert a.calls == pooled.calls == len(durations)
+    assert abs(a.total_seconds - pooled.total_seconds) <= 1e-9
+    assert a.max_seconds == pooled.max_seconds
+
+
+@given(bounds_strategy, samples, samples)
+@settings(max_examples=40)
+def test_registry_merge_pools_histograms_losslessly(bounds, xs, ys):
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("h", bounds=bounds).observe_many(xs)
+    a.counter("n").inc(len(xs))
+    b.histogram("h", bounds=bounds).observe_many(ys)
+    b.counter("n").inc(len(ys))
+    a.merge(b)
+    assert a.counter("n").value == len(xs) + len(ys)
+    _assert_equal(a.histogram("h", bounds=bounds), _hist(xs + ys, bounds))

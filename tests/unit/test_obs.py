@@ -1,0 +1,441 @@
+"""Unit tests for the observability layer (:mod:`repro.obs`).
+
+Covers the instrument semantics (counters, gauges, mergeable
+histograms, phase timers), the registry, the span tracer, the
+process-wide switchboard, the JSON/CSV exporters, and the CLI
+``--metrics-out`` integration.
+"""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.analysis.export import (
+    METRICS_SCHEMA,
+    metrics_to_csv,
+    metrics_to_json,
+)
+from repro.cli import main
+from repro.obs import (
+    ACCESS_SERVED,
+    DEFAULT_LATENCY_BOUNDS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    NullRegistry,
+    PhaseTimer,
+    Tracer,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(4.5)
+        assert c.value == 5.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x").inc(-1.0)
+
+    def test_merge_is_additive(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7.0
+        assert b.value == 4.0  # merge source untouched
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(10.0)
+        g.inc(2.0)
+        g.dec(5.0)
+        assert g.value == 7.0
+
+    def test_merge_takes_latest(self):
+        a, b = Gauge("x"), Gauge("x")
+        a.set(1.0)
+        b.set(9.0)
+        a.merge(b)
+        assert a.value == 9.0
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        h = Histogram("h", bounds=(10.0, 100.0))
+        # value == bound lands in that bucket (Prometheus ``le``).
+        h.observe(10.0)
+        h.observe(10.5)
+        h.observe(100.0)
+        assert h.bucket_counts == [1, 2, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", bounds=(1.0,))
+        h.observe(2.0)
+        h.observe(1e9)
+        assert h.bucket_counts == [0, 2]
+
+    def test_scalar_stats(self):
+        h = Histogram("h", bounds=(10.0,))
+        for v in (4.0, 6.0, 20.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 30.0
+        assert h.mean == 10.0
+        assert (h.min, h.max) == (4.0, 20.0)
+
+    def test_observe_many_matches_observe(self):
+        values = [0.5, 3.0, 7.5, 40.0, 4000.0, 10.0]
+        one = Histogram("h")
+        many = Histogram("h")
+        for v in values:
+            one.observe(v)
+        many.observe_many(values)
+        assert one.bucket_counts == many.bucket_counts
+        assert one.count == many.count
+        assert one.total == many.total
+        assert (one.min, one.max) == (many.min, many.max)
+
+    def test_merge_empty_plus_empty(self):
+        a, b = Histogram("h"), Histogram("h")
+        a.merge(b)
+        assert a.count == 0
+        assert a.min is None and a.max is None
+
+    def test_merge_disjoint_buckets(self):
+        a = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        b = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        a.observe(0.5)
+        b.observe(50.0)
+        a.merge(b)
+        assert a.bucket_counts == [1, 0, 1, 0]
+        assert a.count == 2
+        assert (a.min, a.max) == (0.5, 50.0)
+
+    def test_merge_with_overflow(self):
+        a = Histogram("h", bounds=(1.0,))
+        b = Histogram("h", bounds=(1.0,))
+        a.observe(9.0)
+        b.observe(99.0)
+        a.merge(b)
+        assert a.bucket_counts == [0, 2]
+        assert a.max == 99.0
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram("h", bounds=(1.0, 2.0))
+        b = Histogram("h", bounds=(1.0, 3.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(b)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError, match="bound"):
+            Histogram("h", bounds=())
+
+    def test_copy_is_independent(self):
+        a = Histogram("h", bounds=(1.0,))
+        a.observe(0.5)
+        b = a.copy()
+        b.observe(0.5)
+        assert a.count == 1 and b.count == 2
+
+    def test_approx_quantile(self):
+        h = Histogram("h", bounds=(10.0, 100.0))
+        for _ in range(99):
+            h.observe(5.0)
+        h.observe(50.0)
+        assert h.approx_quantile(0.5) <= 10.0
+        assert h.approx_quantile(1.0) <= 100.0
+
+    def test_snapshot_fields(self):
+        h = Histogram("h", bounds=(10.0,))
+        h.observe(3.0)
+        snap = h.snapshot()
+        assert snap["bounds"] == [10.0]
+        assert snap["bucket_counts"] == [1, 0]
+        assert snap["count"] == 1
+        assert snap["total"] == 3.0
+
+    def test_default_bounds(self):
+        assert Histogram("h").bounds == DEFAULT_LATENCY_BOUNDS_MS
+
+
+class TestPhaseTimer:
+    def test_record_accumulates(self):
+        t = PhaseTimer("p")
+        t.record(0.5)
+        t.record(1.5)
+        assert t.calls == 2
+        assert t.total_seconds == 2.0
+        assert t.max_seconds == 1.5
+        assert t.mean_seconds == 1.0
+
+    def test_time_context_manager(self):
+        t = PhaseTimer("p")
+        with t.time():
+            pass
+        assert t.calls == 1
+        assert t.total_seconds >= 0.0
+
+    def test_merge(self):
+        a, b = PhaseTimer("p"), PhaseTimer("p")
+        a.record(1.0)
+        b.record(3.0)
+        a.merge(b)
+        assert a.calls == 2
+        assert a.total_seconds == 4.0
+        assert a.max_seconds == 3.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.timer("t") is reg.timer("t")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_phase_shorthand_times_the_block(self):
+        reg = MetricsRegistry()
+        with reg.phase("work"):
+            pass
+        assert reg.timer("work").calls == 1
+
+    def test_merge_is_additive_per_instrument(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        b.counter("only-b").inc(5)
+        b.histogram("h").observe(3.0)
+        a.merge(b)
+        assert a.counter("c").value == 3.0
+        assert a.counter("only-b").value == 5.0
+        assert a.histogram("h").count == 1
+
+    def test_snapshot_structure(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(1.0)
+        reg.timer("t").record(0.1)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms",
+                             "phase_timers"}
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["phase_timers"]["t"]["calls"] == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot()["counters"] == {}
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled is True
+        assert NULL_REGISTRY.enabled is False
+
+
+class TestNullRegistry:
+    def test_instruments_are_noops(self):
+        null = NullRegistry()
+        null.counter("c").inc(5)
+        null.gauge("g").set(3.0)
+        null.histogram("h").observe(1.0)
+        null.timer("t").record(1.0)
+        with null.phase("p"):
+            pass
+        assert null.snapshot() == {"counters": {}, "gauges": {},
+                                   "histograms": {}, "phase_timers": {}}
+
+    def test_shared_singletons(self):
+        null = NullRegistry()
+        assert null.counter("a") is null.counter("b")
+
+
+class TestTracer:
+    def test_records_spans_in_order(self):
+        tracer = Tracer(capacity=8)
+        tracer.record("a", time=1.0, x=1)
+        tracer.record("b", time=2.0)
+        spans = tracer.spans()
+        assert [s.kind for s in spans] == ["a", "b"]
+        assert spans[0].attrs == {"x": 1}
+        assert tracer.spans(kind="b") == [spans[1]]
+
+    def test_bound_clock_supplies_time(self):
+        now = {"t": 42.0}
+        tracer = Tracer(clock=lambda: now["t"])
+        tracer.record("a")
+        now["t"] = 43.0
+        tracer.record("a")
+        assert [s.time for s in tracer.spans()] == [42.0, 43.0]
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.record("a", time=float(i))
+        assert len(tracer) == 3
+        assert tracer.recorded == 5
+        assert tracer.dropped == 2
+        assert [s.time for s in tracer.spans()] == [2.0, 3.0, 4.0]
+
+    def test_kind_counts_include_evicted(self):
+        tracer = Tracer(capacity=2)
+        for _ in range(4):
+            tracer.record(ACCESS_SERVED, time=0.0)
+        assert tracer.kind_counts() == {ACCESS_SERVED: 4}
+
+    def test_snapshot(self):
+        tracer = Tracer(capacity=4)
+        tracer.record("a", time=1.0, note="hi")
+        snap = tracer.snapshot()
+        assert snap["recorded"] == 1
+        assert snap["dropped"] == 0
+        assert snap["kinds"] == {"a": 1}
+        assert "spans" not in snap
+        full = tracer.snapshot(include_spans=True)
+        assert full["spans"] == [{"kind": "a", "time": 1.0, "note": "hi"}]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+    def test_reset(self):
+        tracer = Tracer()
+        tracer.record("a")
+        tracer.reset()
+        assert len(tracer) == 0 and tracer.recorded == 0
+
+    def test_null_tracer_noop(self):
+        NULL_TRACER.record("a", time=1.0)
+        NULL_TRACER.bind_clock(lambda: 0.0)
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.enabled is False
+
+
+class TestSwitchboard:
+    def test_defaults_are_null(self):
+        assert obs.get_registry() is NULL_REGISTRY
+        assert obs.get_tracer() is NULL_TRACER
+
+    def test_enable_disable(self):
+        registry, tracer = obs.enable()
+        try:
+            assert obs.get_registry() is registry
+            assert obs.get_tracer() is tracer
+            assert registry.enabled and tracer.enabled
+        finally:
+            obs.disable()
+        assert obs.get_registry() is NULL_REGISTRY
+        assert obs.get_tracer() is NULL_TRACER
+
+    def test_observe_restores_previous_pair(self):
+        outer_reg, outer_tr = obs.enable()
+        try:
+            with obs.observe() as (inner_reg, inner_tr):
+                assert obs.get_registry() is inner_reg
+                assert inner_reg is not outer_reg
+            assert obs.get_registry() is outer_reg
+            assert obs.get_tracer() is outer_tr
+        finally:
+            obs.disable()
+
+    def test_observe_accepts_explicit_instruments(self):
+        mine = MetricsRegistry()
+        with obs.observe(registry=mine) as (registry, _):
+            assert registry is mine
+            obs.get_registry().counter("c").inc()
+        assert mine.counter("c").value == 1.0
+        assert obs.get_registry() is NULL_REGISTRY
+
+
+class TestExport:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=(10.0,)).observe(3.0)
+        reg.timer("t").record(0.25)
+        return reg
+
+    def test_metrics_to_json_schema(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        tracer = Tracer()
+        tracer.record("a", time=1.0)
+        metrics_to_json(self._populated(), str(path), tracer=tracer)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["counters"] == {"c": 2.0}
+        assert doc["gauges"] == {"g": 1.5}
+        assert doc["histograms"]["h"]["count"] == 1
+        assert doc["phase_timers"]["t"]["calls"] == 1
+        assert doc["trace"]["kinds"] == {"a": 1}
+
+    def test_metrics_to_json_without_tracer(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        metrics_to_json(self._populated(), str(path))
+        doc = json.loads(path.read_text())
+        assert "trace" not in doc
+
+    def test_metrics_to_csv(self, tmp_path):
+        path = tmp_path / "metrics.csv"
+        metrics_to_csv(self._populated(), str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["kind", "name", "field", "value"]
+        cells = {(r[0], r[1], r[2]): r[3] for r in rows[1:]}
+        assert cells[("counter", "c", "value")] == "2.0"
+        assert cells[("histogram", "h", "count")] == "1"
+        assert cells[("histogram", "h", "bucket_le_10.0")] == "1"
+        assert cells[("histogram", "h", "bucket_le_inf")] == "0"
+        assert cells[("phase_timer", "t", "calls")] == "1"
+
+
+class TestCliMetricsOut:
+    def test_coords_run_emits_schema_compliant_metrics(self, tmp_path,
+                                                       capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["coords", "--nodes", "40", "--runs", "2",
+                     "--seed", "3", "--metrics-out", str(path)]) == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == METRICS_SCHEMA
+        # The acceptance triplet: accesses served, latency histogram,
+        # macro-clustering phase timer.
+        assert doc["counters"]["accesses.served"] > 0
+        hist = doc["histograms"]["access.delay_ms"]
+        assert hist["count"] == doc["counters"]["accesses.served"]
+        assert sum(hist["bucket_counts"]) == hist["count"]
+        assert doc["phase_timers"]["macro.place_replicas"]["calls"] > 0
+        assert doc["phase_timers"]["macro.place_replicas"][
+            "total_seconds"] > 0.0
+        assert doc["trace"]["recorded"] >= 0
+
+    def test_metrics_out_disabled_leaves_switchboard_null(self, tmp_path,
+                                                          capsys):
+        # Without --metrics-out the run must stay on the no-op path.
+        out = tmp_path / "matrix.npz"
+        assert main(["matrix", "--nodes", "30", "--seed", "1",
+                     "--out", str(out)]) == 0
+        assert os.path.exists(out)
+        assert obs.get_registry() is NULL_REGISTRY

@@ -154,8 +154,12 @@ class TestSimulator:
         # the same seed has to reproduce the same simulation in any
         # process (regression test for a PYTHONHASHSEED dependence).
         import json
+        import os
+        import pathlib
         import subprocess
         import sys
+
+        import repro
 
         script = (
             "import json, sys\n"
@@ -164,11 +168,20 @@ class TestSimulator:
             "print(json.dumps([int(sim.rng('workload').integers(0, 10**9))"
             " for _ in range(3)]))\n"
         )
+        # Start from the parent environment (only PYTHONHASHSEED varies)
+        # and make sure the child can import repro even when the parent
+        # got it via sys.path rather than PYTHONPATH.
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        base_env = dict(os.environ)
+        python_path = base_env.get("PYTHONPATH", "")
+        if src_dir not in python_path.split(os.pathsep):
+            base_env["PYTHONPATH"] = (
+                src_dir + (os.pathsep + python_path if python_path else ""))
         outputs = []
         for hash_seed in ("1", "99"):
             result = subprocess.run(
                 [sys.executable, "-c", script],
-                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                env={**base_env, "PYTHONHASHSEED": hash_seed},
                 capture_output=True, text=True, check=True)
             outputs.append(json.loads(result.stdout))
         assert outputs[0] == outputs[1]

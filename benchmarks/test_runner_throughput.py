@@ -1,0 +1,87 @@
+"""Serial vs parallel runner throughput on a reduced Figure-1 sweep.
+
+Runs the same sweep three ways — serial (``jobs=1``), process-pool
+parallel (``jobs=cpu_count``) and replayed from a warm cache — checks
+the results are bit-identical, and records the wall-clock numbers in
+``BENCH_runner.json`` next to this module.  On a multi-core runner the
+parallel pass must beat serial (the paper's grid is embarrassingly
+parallel, so the speedup should approach the core count); on a
+single-core runner the numbers are still recorded but the speedup
+assertion is skipped — there is nothing to win there, only pool
+overhead to pay.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.analysis.experiment import EvaluationSetting, run_figure1
+
+from conftest import print_result
+
+BENCH_OUT = pathlib.Path(__file__).parent / "BENCH_runner.json"
+
+#: Reduced Figure-1 sweep: large enough that each job does real work,
+#: small enough that the three passes finish in a couple of minutes.
+SETTING = EvaluationSetting(n_nodes=60, n_runs=6, seed=0)
+SWEEP = dict(datacenter_counts=(5, 10, 15), k=3, micro_clusters=4)
+#: jobs per sweep: |datacenter_counts| x 4 strategies x n_runs.
+TOTAL_JOBS = len(SWEEP["datacenter_counts"]) * 4 * SETTING.n_runs
+
+
+def _timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_runner_throughput(capsys):
+    cpus = os.cpu_count() or 1
+    # Pre-warm the in-process world memo so the serial baseline measures
+    # placement compute, not one-off world construction.  (The parallel
+    # pass still pays its real overhead: pool startup and a cold world
+    # per worker process.)
+    from repro.runner import pool
+    pool._worlds.setdefault(SETTING, SETTING.build())
+
+    serial, serial_s = _timed("serial", lambda: run_figure1(SETTING, **SWEEP))
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        parallel, parallel_s = _timed("parallel", lambda: run_figure1(
+            SETTING, **SWEEP, jobs=cpus, cache_dir=cache_dir))
+        assert parallel == serial, "parallel run is not bit-identical"
+
+        resumed, resume_s = _timed("resume", lambda: run_figure1(
+            SETTING, **SWEEP, jobs=cpus, cache_dir=cache_dir, resume=True))
+        assert resumed == serial, "cache replay is not bit-identical"
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    doc = {
+        "benchmark": "runner_throughput",
+        "sweep": {"figure": "figure1", "n_nodes": SETTING.n_nodes,
+                  "n_runs": SETTING.n_runs, "jobs_total": TOTAL_JOBS,
+                  **{k: list(v) if isinstance(v, tuple) else v
+                     for k, v in SWEEP.items()}},
+        "cpu_count": cpus,
+        "workers": cpus,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "cache_replay_seconds": round(resume_s, 3),
+        "parallel_speedup": round(speedup, 3),
+        "cache_replay_speedup": round(serial_s / resume_s, 3)
+        if resume_s else None,
+    }
+    BENCH_OUT.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print_result(capsys, json.dumps(doc, indent=2))
+
+    # The cache replay never recomputes, so it must beat the serial run
+    # whatever the hardware.
+    assert resume_s < serial_s
+    # The parallel-speedup bar only applies where parallelism exists.
+    if cpus >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x parallel speedup on {cpus} cores, "
+            f"got {speedup:.2f}x")

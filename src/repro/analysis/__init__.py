@@ -20,6 +20,7 @@ from repro.analysis.experiment import (
     EvaluationSetting,
     FigureResult,
     Table2Row,
+    compute_table2_row,
     default_strategies,
     draw_candidates,
     run_comparison,
@@ -43,6 +44,7 @@ __all__ = [
     "EvaluationSetting",
     "FigureResult",
     "Table2Row",
+    "compute_table2_row",
     "default_strategies",
     "draw_candidates",
     "run_comparison",

@@ -5,30 +5,33 @@ PlanetLab; see DESIGN.md §2), network coordinates assigned once, then for
 each configuration ``n_runs`` independent draws of candidate replica
 locations; the remaining nodes are the clients, every client reads its
 closest replica, and the reported number is the true mean access delay.
+
+Every runner in this module executes through :mod:`repro.runner`: the
+sweep grid is decomposed into independent *(sweep point, strategy, run)*
+jobs whose random streams derive from the job identity alone, so
+``jobs=4`` produces bit-identical series to ``jobs=1`` and an
+interrupted sweep resumes from its result cache (``cache_dir=...,
+resume=True``).  See ``docs/runner.md``.
 """
 
 from __future__ import annotations
 
-import time
-import zlib
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
+
 from repro.clustering.kmeans import weighted_kmeans
 from repro.coords.embedding import embed_matrix
-from repro.coords.space import EuclideanSpace
 from repro.core.costs import offline_bandwidth_bytes, online_bandwidth_bytes
 from repro.core.summarizer import ReplicaAccessSummary
 from repro.core.macro import place_replicas
 from repro.net.latency import LatencyMatrix
 from repro.net.planetlab import PlanetLabParams, synthetic_planetlab_matrix
-from repro.placement.base import (
-    PlacementProblem,
-    PlacementStrategy,
-    average_access_delay,
-)
+from repro.placement.base import PlacementStrategy
 from repro.placement.offline_kmeans import OfflineKMeansPlacement
 from repro.placement.online import OnlineClusteringPlacement
 from repro.placement.optimal import OptimalPlacement
@@ -39,6 +42,7 @@ __all__ = [
     "EvaluationSetting",
     "FigureResult",
     "Table2Row",
+    "compute_table2_row",
     "default_strategies",
     "draw_candidates",
     "run_comparison",
@@ -164,71 +168,123 @@ def draw_candidates(matrix: LatencyMatrix, n_dc: int,
     return candidates, clients
 
 
+def _world_digest(matrix: LatencyMatrix, coords: np.ndarray,
+                  heights: np.ndarray | None) -> str:
+    """Content digest of an explicitly supplied world, for cache keys."""
+    digest = hashlib.sha256()
+    rtt = np.ascontiguousarray(matrix.rtt)
+    digest.update(repr(rtt.shape).encode())
+    digest.update(rtt.tobytes())
+    coords = np.ascontiguousarray(coords)
+    digest.update(repr(coords.shape).encode())
+    digest.update(coords.tobytes())
+    if heights is not None:
+        digest.update(np.ascontiguousarray(heights).tobytes())
+    return digest.hexdigest()
+
+
 def run_comparison(matrix: LatencyMatrix, coords: np.ndarray,
                    strategies: Sequence[PlacementStrategy],
                    n_dc: int, k: int, n_runs: int,
                    seed: int = 0,
                    heights: np.ndarray | None = None,
-                   candidate_mode: str = "dispersed") -> dict[str, list[float]]:
+                   candidate_mode: str = "dispersed", *,
+                   jobs: int | None = 1,
+                   cache_dir: str | None = None,
+                   resume: bool = False) -> dict[str, list[float]]:
     """Mean access delay per strategy over ``n_runs`` candidate draws.
 
     Every strategy sees the *same* candidate/client split in each run,
-    so the comparison is paired (as in the paper's simulator).
+    so the comparison is paired (as in the paper's simulator): each
+    (strategy, run) cell re-derives the run's candidate stream from
+    ``(seed, run)``, independent of which worker executes it or in what
+    order.  ``jobs`` fans the cells out over worker processes
+    (``None`` = one per CPU); results are bit-identical at any
+    parallelism.
     """
     if n_dc >= matrix.n:
         raise ValueError("need at least one client node")
+    from repro.runner import PlacementRunSpec, as_job_strategy, execute
+    world = (matrix, coords, heights)
+    world_key = (_world_digest(matrix, coords, heights)
+                 if cache_dir is not None else None)
+    specs = [
+        PlacementRunSpec(
+            sweep="comparison", series=strategy.name, x=float(k),
+            run_index=run, n_dc=n_dc, k=k,
+            strategy=as_job_strategy(strategy), seed=seed,
+            candidate_mode=candidate_mode, world_key=world_key)
+        for strategy in strategies for run in range(n_runs)
+    ]
+    results = execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume,
+                      world=world)
     delays: dict[str, list[float]] = {s.name: [] for s in strategies}
-    for run in range(n_runs):
-        run_rng = np.random.default_rng((seed, run))
-        candidates, clients = draw_candidates(matrix, n_dc, run_rng,
-                                              candidate_mode)
-        problem = PlacementProblem(matrix, candidates, clients, k,
-                                   coords=coords, heights=heights)
-        for strategy in strategies:
-            strat_rng = np.random.default_rng(
-                (seed, run, zlib.crc32(strategy.name.encode())))
-            sites = strategy.place(problem, strat_rng)
-            delays[strategy.name].append(
-                average_access_delay(matrix, clients, sites))
+    for spec, delay in zip(specs, results):
+        delays[spec.series].append(delay)
     return delays
 
 
-def _sweep(matrix: LatencyMatrix, coords: np.ndarray,
+def _sweep(setting: EvaluationSetting,
            strategies_for_x: Callable[[float], Sequence[PlacementStrategy]],
            xs: Sequence[float], n_dc_for_x: Callable[[float], int],
-           k_for_x: Callable[[float], int], n_runs: int,
-           seed: int,
-           heights: np.ndarray | None = None,
-           candidate_mode: str = "dispersed") -> dict[str, list[SeriesPoint]]:
-    series: dict[str, list[SeriesPoint]] = {}
+           k_for_x: Callable[[float], int], *,
+           sweep_name: str,
+           jobs: int | None = 1,
+           cache_dir: str | None = None,
+           resume: bool = False) -> dict[str, list[SeriesPoint]]:
+    """Fan one figure sweep out over the runner and reassemble its series.
+
+    Workers materialize the world from ``setting`` themselves (memoized
+    per process), so a fully cached resume never even builds the matrix.
+    """
+    from repro.runner import PlacementRunSpec, as_job_strategy, execute
+    specs: list[PlacementRunSpec] = []
+    series_order: list[str] = []
+    xs_by_series: dict[str, list[float]] = {}
     for x in xs:
-        strategies = strategies_for_x(x)
-        delays = run_comparison(matrix, coords, strategies,
-                                n_dc_for_x(x), k_for_x(x), n_runs, seed,
-                                heights=heights, candidate_mode=candidate_mode)
-        for name, values in delays.items():
-            series.setdefault(name, []).append(
-                SeriesPoint(float(x), summarize(values)))
-    return series
+        if n_dc_for_x(x) >= setting.n_nodes:
+            raise ValueError("need at least one client node")
+        for strategy in strategies_for_x(x):
+            name = strategy.name
+            if name not in xs_by_series:
+                series_order.append(name)
+                xs_by_series[name] = []
+            xs_by_series[name].append(float(x))
+            job_strategy = as_job_strategy(strategy)
+            for run in range(setting.n_runs):
+                specs.append(PlacementRunSpec(
+                    sweep=sweep_name, series=name, x=float(x),
+                    run_index=run, n_dc=n_dc_for_x(x), k=k_for_x(x),
+                    strategy=job_strategy, seed=setting.seed,
+                    candidate_mode=setting.candidate_mode, setting=setting))
+    results = execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume)
+    delays: dict[tuple[str, float], list[float]] = {}
+    for spec, delay in zip(specs, results):
+        delays.setdefault((spec.series, spec.x), []).append(delay)
+    return {
+        name: [SeriesPoint(x, summarize(delays[(name, x)]))
+               for x in xs_by_series[name]]
+        for name in series_order
+    }
 
 
 def run_figure1(setting: EvaluationSetting | None = None,
                 datacenter_counts: Sequence[int] = (5, 10, 15, 20, 25, 30),
                 k: int = 3,
-                micro_clusters: int = 10) -> FigureResult:
+                micro_clusters: int = 10, *,
+                jobs: int | None = 1,
+                cache_dir: str | None = None,
+                resume: bool = False) -> FigureResult:
     """Figure 1: impact of the number of available data centers (k = 3)."""
     setting = setting or EvaluationSetting()
-    matrix, coords, heights = setting.build()
     series = _sweep(
-        matrix, coords,
+        setting,
         strategies_for_x=lambda _x: default_strategies(micro_clusters),
         xs=datacenter_counts,
         n_dc_for_x=int,
         k_for_x=lambda _x: k,
-        n_runs=setting.n_runs,
-        seed=setting.seed,
-        heights=heights,
-        candidate_mode=setting.candidate_mode,
+        sweep_name="figure1",
+        jobs=jobs, cache_dir=cache_dir, resume=resume,
     )
     return FigureResult(
         name="Figure 1",
@@ -241,20 +297,20 @@ def run_figure1(setting: EvaluationSetting | None = None,
 def run_figure2(setting: EvaluationSetting | None = None,
                 replica_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
                 n_dc: int = 20,
-                micro_clusters: int = 10) -> FigureResult:
+                micro_clusters: int = 10, *,
+                jobs: int | None = 1,
+                cache_dir: str | None = None,
+                resume: bool = False) -> FigureResult:
     """Figure 2: impact of the degree of replication (20 data centers)."""
     setting = setting or EvaluationSetting()
-    matrix, coords, heights = setting.build()
     series = _sweep(
-        matrix, coords,
+        setting,
         strategies_for_x=lambda _x: default_strategies(micro_clusters),
         xs=replica_counts,
         n_dc_for_x=lambda _x: n_dc,
         k_for_x=int,
-        n_runs=setting.n_runs,
-        seed=setting.seed,
-        heights=heights,
-        candidate_mode=setting.candidate_mode,
+        sweep_name="figure2",
+        jobs=jobs, cache_dir=cache_dir, resume=resume,
     )
     return FigureResult(
         name="Figure 2",
@@ -267,21 +323,41 @@ def run_figure2(setting: EvaluationSetting | None = None,
 def run_figure3(setting: EvaluationSetting | None = None,
                 micro_cluster_counts: Sequence[int] = (1, 2, 4, 7, 11),
                 replica_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
-                n_dc: int = 20) -> FigureResult:
-    """Figure 3: online clustering delay vs. k, one series per m."""
+                n_dc: int = 20, *,
+                jobs: int | None = 1,
+                cache_dir: str | None = None,
+                resume: bool = False) -> FigureResult:
+    """Figure 3: online clustering delay vs. k, one series per m.
+
+    Unlike Figures 1–2 the series are *micro-cluster budgets* of the
+    same strategy, so the cells are built directly rather than through
+    :func:`_sweep` (which keys series by strategy name).
+    """
     setting = setting or EvaluationSetting()
-    matrix, coords, heights = setting.build()
+    if n_dc >= setting.n_nodes:
+        raise ValueError("need at least one client node")
+    from repro.runner import PlacementRunSpec, execute, strategy_spec
+    specs: list[PlacementRunSpec] = []
+    for m in micro_cluster_counts:
+        job_strategy = strategy_spec("online", micro_clusters=int(m))
+        for k in replica_counts:
+            for run in range(setting.n_runs):
+                specs.append(PlacementRunSpec(
+                    sweep="figure3", series=f"{m} micro-clusters",
+                    x=float(k), run_index=run, n_dc=n_dc, k=int(k),
+                    strategy=job_strategy, seed=setting.seed,
+                    candidate_mode=setting.candidate_mode, setting=setting))
+    results = execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume)
+    delays: dict[tuple[str, float], list[float]] = {}
+    for spec, delay in zip(specs, results):
+        delays.setdefault((spec.series, spec.x), []).append(delay)
     series: dict[str, list[SeriesPoint]] = {}
     for m in micro_cluster_counts:
-        strategy = OnlineClusteringPlacement(micro_clusters=m)
-        for k in replica_counts:
-            delays = run_comparison(matrix, coords, [strategy], n_dc, k,
-                                    setting.n_runs, setting.seed,
-                                    heights=heights,
-                                    candidate_mode=setting.candidate_mode)
-            name = f"{m} micro-clusters"
-            series.setdefault(name, []).append(
-                SeriesPoint(float(k), summarize(delays[strategy.name])))
+        name = f"{m} micro-clusters"
+        series[name] = [
+            SeriesPoint(float(k), summarize(delays[(name, float(k))]))
+            for k in replica_counts
+        ]
     return FigureResult(
         name="Figure 3",
         xlabel=f"number of replicas ({n_dc} data centers)",
@@ -316,78 +392,120 @@ class Table2Row:
     offline_bytes_analytic: int
 
 
+def compute_table2_row(n_accesses: int, k: int, m: int, dim: int,
+                       seed: int) -> Table2Row:
+    """One Table II row, independently seeded and timed with phase timers.
+
+    The row's random streams derive from ``(seed, n_accesses)``, so rows
+    are independent of each other — the property that lets
+    :func:`run_table2` farm them out to workers and cache them
+    individually.  Wall-clock costs are measured with
+    :class:`repro.obs.PhaseTimer` (``table2.online_ingest`` /
+    ``table2.online_cluster`` / ``table2.offline_cluster``) on a local
+    registry that is merged into the active one, so the numbers flow
+    through the same metrics pipeline (``--metrics-out``, benchmark
+    exports) as every other timing in the repo.
+    """
+    from repro.runner import seed_sequence
+    timers = obs.MetricsRegistry()
+    rng = np.random.default_rng(seed_sequence(seed, n_accesses))
+    blob_centers = rng.uniform(-200, 200, size=(max(k, 2), dim))
+    assignment = rng.integers(0, blob_centers.shape[0], size=n_accesses)
+    points = blob_centers[assignment] + rng.normal(0, 15,
+                                                   size=(n_accesses, dim))
+
+    # Online: k summaries, each sees one shard of the stream.
+    summaries = [ReplicaAccessSummary(m, radius_floor=10.0)
+                 for _ in range(k)]
+    shard = rng.integers(0, k, size=n_accesses)
+    with timers.phase("table2.online_ingest"):
+        for point, s in zip(points, shard):
+            summaries[s].record_access(point)
+    pooled = [c for summary in summaries for c in summary.snapshot()]
+    with timers.phase("table2.online_cluster"):
+        place_replicas(pooled, k, blob_centers, np.random.default_rng(seed))
+    online_bytes = sum(s.wire_size_bytes() for s in summaries)
+
+    # Offline: ship every coordinate, cluster them all.
+    with timers.phase("table2.offline_cluster"):
+        weighted_kmeans(points, k, rng=np.random.default_rng(seed))
+
+    row = Table2Row(
+        n_accesses=n_accesses, k=k, m=m,
+        online_bytes=online_bytes,
+        offline_bytes=points.nbytes,
+        online_seconds=timers.timer("table2.online_cluster").last_seconds,
+        offline_seconds=timers.timer("table2.offline_cluster").last_seconds,
+        online_ingest_seconds=timers.timer(
+            "table2.online_ingest").last_seconds,
+        online_bytes_analytic=online_bandwidth_bytes(k, m, dim),
+        offline_bytes_analytic=offline_bandwidth_bytes(n_accesses, dim),
+    )
+    obs.get_registry().merge(timers)
+    return row
+
+
 def run_table2(n_accesses_list: Sequence[int] = (1_000, 10_000, 100_000),
                k: int = 3, m: int = 100, dim: int = 3,
-               seed: int = 0) -> list[Table2Row]:
+               seed: int = 0, *,
+               jobs: int | None = 1,
+               cache_dir: str | None = None,
+               resume: bool = False) -> list[Table2Row]:
     """Table II: bandwidth and computation, online vs. offline.
 
     For each access volume *n*: draw *n* client coordinates from ``k``
     population blobs, (a) feed them through per-replica summaries and
     cluster the micro-clusters (online), (b) record all of them and run
     k-means directly (offline).  Bytes are what each approach must ship
-    to the coordinator; seconds are measured clustering time.
+    to the coordinator; seconds are measured clustering time (phase
+    timers — see :func:`compute_table2_row`).  Rows are independent
+    jobs: ``jobs`` parallelizes across access volumes (note that
+    co-scheduled rows contend for CPU, so keep ``jobs=1`` when the
+    absolute timings matter) and ``cache_dir``/``resume`` skip rows a
+    previous invocation already measured.
     """
-    rows: list[Table2Row] = []
-    rng = np.random.default_rng(seed)
-    blob_centers = rng.uniform(-200, 200, size=(max(k, 2), dim))
-    for n in n_accesses_list:
-        assignment = rng.integers(0, blob_centers.shape[0], size=n)
-        points = blob_centers[assignment] + rng.normal(0, 15, size=(n, dim))
-
-        # Online: k summaries, each sees one shard of the stream.
-        summaries = [ReplicaAccessSummary(m, radius_floor=10.0)
-                     for _ in range(k)]
-        shard = rng.integers(0, k, size=n)
-        started = time.perf_counter()
-        for point, s in zip(points, shard):
-            summaries[s].record_access(point)
-        online_ingest_seconds = time.perf_counter() - started
-        pooled = [c for summary in summaries for c in summary.snapshot()]
-        started = time.perf_counter()
-        place_replicas(pooled, k, blob_centers, np.random.default_rng(seed))
-        online_seconds = time.perf_counter() - started
-        online_bytes = sum(s.wire_size_bytes() for s in summaries)
-
-        # Offline: ship every coordinate, cluster them all.
-        started = time.perf_counter()
-        weighted_kmeans(points, k, rng=np.random.default_rng(seed))
-        offline_seconds = time.perf_counter() - started
-        offline_bytes = points.nbytes
-
-        rows.append(Table2Row(
-            n_accesses=n, k=k, m=m,
-            online_bytes=online_bytes,
-            offline_bytes=offline_bytes,
-            online_seconds=online_seconds,
-            offline_seconds=offline_seconds,
-            online_ingest_seconds=online_ingest_seconds,
-            online_bytes_analytic=online_bandwidth_bytes(k, m, dim),
-            offline_bytes_analytic=offline_bandwidth_bytes(n, dim),
-        ))
-    return rows
+    from repro.runner import Table2Spec, execute
+    specs = [Table2Spec(n_accesses=int(n), k=k, m=m, dim=dim, seed=seed)
+             for n in n_accesses_list]
+    return execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume)
 
 
 def run_coord_ablation(setting: EvaluationSetting | None = None,
                        systems: Sequence[str] = ("mds", "rnp", "vivaldi", "gnp"),
                        n_dc: int = 20, k: int = 3,
-                       micro_clusters: int = 10) -> FigureResult:
-    """Ablation: how the coordinate system affects online placement."""
+                       micro_clusters: int = 10, *,
+                       jobs: int | None = 1,
+                       cache_dir: str | None = None,
+                       resume: bool = False) -> FigureResult:
+    """Ablation: how the coordinate system affects online placement.
+
+    Each coordinate system is its own :class:`EvaluationSetting` (same
+    matrix seed, different embedding), so workers build each system's
+    world once and the embeddings themselves run in parallel across
+    workers.
+    """
     setting = setting or EvaluationSetting()
-    matrix, _ = synthetic_planetlab_matrix(
-        PlanetLabParams(n=setting.n_nodes), seed=setting.seed)
-    series: dict[str, list[SeriesPoint]] = {}
+    if n_dc >= setting.n_nodes:
+        raise ValueError("need at least one client node")
+    from repro.runner import PlacementRunSpec, execute, strategy_spec
+    job_strategy = strategy_spec("online", micro_clusters=micro_clusters)
+    specs: list[PlacementRunSpec] = []
     for system in systems:
-        result = embed_matrix(matrix, system=system,
-                              rounds=setting.embed_rounds,
-                              rng=np.random.default_rng(setting.seed + 1))
-        planar = result.coords[:, :result.space.dim]
-        heights = (result.coords[:, -1] if result.space.use_height else None)
-        strategy = OnlineClusteringPlacement(micro_clusters=micro_clusters)
-        delays = run_comparison(matrix, planar, [strategy], n_dc, k,
-                                setting.n_runs, setting.seed,
-                                heights=heights,
-                                candidate_mode=setting.candidate_mode)
-        series[system] = [SeriesPoint(float(k), summarize(delays[strategy.name]))]
+        system_setting = replace(setting, coord_system=system)
+        for run in range(setting.n_runs):
+            specs.append(PlacementRunSpec(
+                sweep="coords", series=system, x=float(k), run_index=run,
+                n_dc=n_dc, k=k, strategy=job_strategy, seed=setting.seed,
+                candidate_mode=setting.candidate_mode,
+                setting=system_setting))
+    results = execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume)
+    delays: dict[str, list[float]] = {}
+    for spec, delay in zip(specs, results):
+        delays.setdefault(spec.series, []).append(delay)
+    series = {
+        system: [SeriesPoint(float(k), summarize(delays[system]))]
+        for system in systems
+    }
     return FigureResult(
         name="Coordinate-system ablation",
         xlabel=f"k = {k}, {n_dc} data centers",

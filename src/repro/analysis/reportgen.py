@@ -102,9 +102,18 @@ def _check_figure3_claims(figure3: FigureResult) -> list[ClaimCheck]:
     )]
 
 
-def generate_report(setting: EvaluationSetting | None = None) -> str:
-    """Run the full evaluation and return the Markdown report."""
+def generate_report(setting: EvaluationSetting | None = None, *,
+                    jobs: int | None = 1,
+                    cache_dir: str | None = None,
+                    resume: bool = False) -> str:
+    """Run the full evaluation and return the Markdown report.
+
+    ``jobs``/``cache_dir``/``resume`` are forwarded to every figure
+    runner (see :mod:`repro.runner`), so the full report can be
+    regenerated in parallel and resumed after an interruption.
+    """
     setting = setting or EvaluationSetting()
+    runner_kwargs = dict(jobs=jobs, cache_dir=cache_dir, resume=resume)
     lines: list[str] = []
     out = lines.append
 
@@ -127,7 +136,7 @@ def generate_report(setting: EvaluationSetting | None = None) -> str:
         ("Figure 3 — micro-cluster budget", run_figure3,
          _check_figure3_claims),
     ):
-        result = runner(setting)
+        result = runner(setting, **runner_kwargs)
         out(f"## {title}")
         out("")
         out("```")
@@ -141,7 +150,7 @@ def generate_report(setting: EvaluationSetting | None = None) -> str:
     out("## Table II — online vs offline overheads")
     out("")
     out("```")
-    out(format_table2(run_table2(seed=setting.seed)))
+    out(format_table2(run_table2(seed=setting.seed, **runner_kwargs)))
     out("```")
     out("")
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro figure3 [options]      # Figure 3 micro-cluster sweep
     python -m repro table2  [options]      # Table II cost comparison
     python -m repro coords  [options]      # coordinate-system ablation
+    python -m repro sweep SPEC [options]   # declarative sweep (JSON/TOML)
     python -m repro report  --out FILE     # full Markdown reproduction report
     python -m repro matrix  --out FILE     # dump the synthetic RTT matrix
 
@@ -17,6 +18,13 @@ the :mod:`repro.obs` observability layer for the run and dumps its
 metrics registry (counters, histograms, phase timers) plus a trace
 summary as JSON (see ``docs/observability.md``).  Defaults reproduce
 the paper's full-size setting (226 nodes, 30 runs, RNP coordinates).
+
+Every experiment command executes through :mod:`repro.runner` and takes
+``--jobs N`` (worker processes; default: one per CPU; ``1`` = serial),
+``--cache-dir DIR`` (persist each finished job) and ``--resume`` (load
+cached jobs instead of recomputing — an interrupted sweep restarted
+with ``--resume`` only runs what is missing).  Results are bit-identical
+at any ``--jobs`` level; see ``docs/runner.md``.
 """
 
 from __future__ import annotations
@@ -50,6 +58,24 @@ def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
                              "registry (and trace summary) as JSON")
 
 
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the experiment runner "
+                             "(default: one per CPU; 1 = serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist finished jobs to this result cache")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse cached jobs from --cache-dir instead "
+                             "of recomputing them")
+
+
+def _runner_kwargs(args: argparse.Namespace) -> dict:
+    if args.resume and not args.cache_dir:
+        raise SystemExit("error: --resume requires --cache-dir")
+    return {"jobs": args.jobs, "cache_dir": args.cache_dir,
+            "resume": args.resume}
+
+
 def _add_setting_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=226,
                         help="emulated nodes (paper: 226)")
@@ -67,6 +93,7 @@ def _add_setting_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chart", action="store_true",
                         help="also draw an ASCII chart of the series")
     _add_metrics_arg(parser)
+    _add_runner_args(parser)
 
 
 def _setting(args: argparse.Namespace) -> EvaluationSetting:
@@ -78,7 +105,7 @@ def _setting(args: argparse.Namespace) -> EvaluationSetting:
 
 def _figure_command(runner: Callable, **extra) -> Callable:
     def command(args: argparse.Namespace) -> int:
-        result = runner(_setting(args), **extra)
+        result = runner(_setting(args), **extra, **_runner_kwargs(args))
         print(format_figure(result))
         if getattr(args, "chart", False):
             print()
@@ -91,7 +118,7 @@ def _figure_command(runner: Callable, **extra) -> Callable:
 
 
 def _cmd_figure3(args: argparse.Namespace) -> int:
-    result = run_figure3(_setting(args))
+    result = run_figure3(_setting(args), **_runner_kwargs(args))
     print(format_figure(result))
     if getattr(args, "chart", False):
         print()
@@ -104,7 +131,8 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     rows = run_table2(n_accesses_list=tuple(args.accesses), k=args.k,
-                      m=args.micro_clusters, seed=args.seed)
+                      m=args.micro_clusters, seed=args.seed,
+                      **_runner_kwargs(args))
     print(format_table2(rows))
     if args.csv:
         table2_to_csv(rows, args.csv)
@@ -113,7 +141,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_coords(args: argparse.Namespace) -> int:
-    result = run_coord_ablation(_setting(args))
+    result = run_coord_ablation(_setting(args), **_runner_kwargs(args))
     print(format_figure(result))
     if args.csv:
         figure_to_csv(result, args.csv)
@@ -122,13 +150,34 @@ def _cmd_coords(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    report = generate_report(_setting(args))
+    report = generate_report(_setting(args), **_runner_kwargs(args))
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report)
         print(f"wrote {args.out}")
     else:
         print(report)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import load_sweep_spec, run_sweep
+
+    spec = load_sweep_spec(args.spec)
+    result = run_sweep(spec, **_runner_kwargs(args))
+    if spec.kind == "table2":
+        print(format_table2(result))
+        if args.csv:
+            table2_to_csv(result, args.csv)
+            print(f"\nwrote {args.csv}")
+        return 0
+    print(format_figure(result))
+    if getattr(args, "chart", False):
+        print()
+        print(render_chart(result))
+    if args.csv:
+        figure_to_csv(result, args.csv)
+        print(f"\nwrote {args.csv}")
     return 0
 
 
@@ -171,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--seed", type=int, default=0)
     pt.add_argument("--csv", default=None, metavar="FILE")
     _add_metrics_arg(pt)
+    _add_runner_args(pt)
     pt.set_defaults(func=_cmd_table2)
 
     pc = sub.add_parser("coords", help="coordinate-system ablation")
@@ -183,6 +233,19 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--out", default=None, metavar="FILE",
                     help="write the Markdown report here (default: stdout)")
     pr.set_defaults(func=_cmd_report)
+
+    ps = sub.add_parser("sweep",
+                        help="run a declarative sweep spec (JSON/TOML)")
+    ps.add_argument("spec", metavar="SPEC",
+                    help="sweep spec file (.toml or .json); see "
+                         "examples/sweeps/ and docs/runner.md")
+    ps.add_argument("--csv", default=None, metavar="FILE",
+                    help="also export the result as CSV")
+    ps.add_argument("--chart", action="store_true",
+                    help="also draw an ASCII chart (figure sweeps only)")
+    _add_metrics_arg(ps)
+    _add_runner_args(ps)
+    ps.set_defaults(func=_cmd_sweep)
 
     pm = sub.add_parser("matrix", help="dump the synthetic RTT matrix")
     pm.add_argument("--nodes", type=int, default=226)

@@ -1,0 +1,149 @@
+"""Content-addressed, crash-safe result cache for experiment jobs.
+
+Each completed job is stored as one small JSON file named by the SHA-256
+of the job's canonical description (:meth:`~repro.runner.jobs.JobSpec.
+payload`) plus a code-version salt.  The key is a pure function of the
+job's *configuration* — never of when or where it ran — so an
+interrupted sweep can resume from every job that finished, and two
+machines running the same sweep address the same entries.
+
+Crash safety comes from the write protocol: entries are written to a
+temporary file in the cache directory and published with
+:func:`os.replace` (atomic on POSIX), so a killed process can leave at
+most an orphaned temp file, never a torn entry.  Reads treat missing,
+torn or schema-mismatched files as misses — a corrupt cache degrades to
+recomputation, never to wrong results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["ResultCache", "cache_key", "CACHE_SCHEMA", "code_salt"]
+
+#: Bumped whenever the cache entry layout or job semantics change.
+CACHE_SCHEMA = "repro.runner/v1"
+
+
+def code_salt() -> str:
+    """The code-version salt mixed into every cache key.
+
+    Combines the cache schema with the package version, so upgrading
+    either invalidates old entries instead of silently reusing results
+    computed by different code.
+    """
+    import repro
+    return f"{CACHE_SCHEMA}:{getattr(repro, '__version__', 'unknown')}"
+
+
+def cache_key(spec: Any, salt: str | None = None) -> str:
+    """SHA-256 hex key of one job spec (config + code-version salt)."""
+    material = {"salt": salt if salt is not None else code_salt(),
+                "spec": spec.payload()}
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _encode_result(result: Any) -> Any:
+    """JSON-able form of a job result (floats and Table2Row today)."""
+    from dataclasses import asdict, is_dataclass
+    if isinstance(result, (int, float)):
+        return float(result)
+    if is_dataclass(result):
+        return {"__dataclass__": type(result).__name__, **asdict(result)}
+    raise TypeError(f"cannot cache result of type {type(result).__name__}")
+
+
+def _decode_result(encoded: Any) -> Any:
+    if isinstance(encoded, dict) and "__dataclass__" in encoded:
+        name = encoded["__dataclass__"]
+        if name != "Table2Row":
+            raise ValueError(f"unknown cached result type {name!r}")
+        from repro.analysis.experiment import Table2Row
+        fields = {k: v for k, v in encoded.items() if k != "__dataclass__"}
+        return Table2Row(**fields)
+    return float(encoded)
+
+
+#: Sentinel distinguishing "cache miss" from a legitimately falsy result.
+MISS = object()
+
+
+class ResultCache:
+    """A directory of content-addressed job results.
+
+    >>> import tempfile
+    >>> from repro.runner.jobs import Table2Spec
+    >>> spec = Table2Spec(n_accesses=10, k=2, m=3)
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     cache = ResultCache(d)
+    ...     cache.get(spec) is MISS
+    ...     _ = cache.put(spec, 12.5)
+    ...     cache.get(spec)
+    ...     len(cache)
+    True
+    12.5
+    1
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        # Two-level fan-out keeps directories small on huge sweeps.
+        return os.path.join(self.directory, key[:2], key + ".json")
+
+    def get(self, spec: Any) -> Any:
+        """The cached result for ``spec``, or :data:`MISS`."""
+        path = self._path(cache_key(spec))
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return MISS
+        if entry.get("schema") != CACHE_SCHEMA:
+            return MISS
+        try:
+            return _decode_result(entry["result"])
+        except (KeyError, TypeError, ValueError):
+            return MISS
+
+    def put(self, spec: Any, result: Any) -> str:
+        """Atomically store ``result`` for ``spec``; returns the key."""
+        key = cache_key(spec)
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "spec": spec.payload(),
+            "result": _encode_result(result),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return key
+
+    def __len__(self) -> int:
+        total = 0
+        for _root, _dirs, files in os.walk(self.directory):
+            total += sum(1 for f in files if f.endswith(".json"))
+        return total
+
+    def __repr__(self) -> str:
+        return f"ResultCache({self.directory!r}, entries={len(self)})"

@@ -1,0 +1,299 @@
+"""Parallel job execution: process pool with cache, retry and resume.
+
+:func:`execute` takes a list of job specs (:mod:`repro.runner.jobs`) and
+returns their results **in spec order**, regardless of how execution was
+scheduled.  Three execution concerns are layered on top of the raw pool:
+
+* **Serial fallback** — ``jobs=1`` runs every job in-process with zero
+  extra machinery (no pickling, no subprocesses), which is also the mode
+  the test suite uses for reference results.
+* **Result cache / resume** — with a ``cache_dir``, every completed job
+  is persisted through :class:`~repro.runner.cache.ResultCache` as it
+  finishes; with ``resume=True``, cached results are loaded up front and
+  only the missing jobs execute.  An interrupted sweep therefore resumes
+  from completed jobs instead of restarting.
+* **Fault tolerance** — a worker process dying (OOM-kill, segfault,
+  ``os._exit``) breaks the pool; the executor counts the crash, rebuilds
+  the pool and re-runs only the unfinished jobs, up to ``retries``
+  times.  A stall watchdog (``timeout`` seconds without any job
+  completing) tears the pool down the same way.  ``KeyboardInterrupt``
+  cancels the jobs that have not started and re-raises — results already
+  completed are in the cache, so Ctrl-C + ``resume`` loses nothing.
+
+Observability: the parent times the whole call (``runner.sweep``) and
+counts ``runner.jobs`` / ``runner.jobs_completed`` / ``runner.cache_hits``
+/ ``runner.cache_misses`` / ``runner.worker_crashes`` / ``runner.retries``.
+Each worker runs its job under a private
+:class:`~repro.obs.MetricsRegistry` (which also captures the job's inner
+instrumentation, e.g. ``placement.online.place`` and the per-job
+``runner.job`` phase timer) and ships it back with the result; the
+parent merges every worker registry into the active one — histograms and
+timers merge by addition, so pooled worker metrics are lossless.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Sequence
+
+from repro import obs
+from repro.runner.cache import MISS, ResultCache
+
+__all__ = ["execute", "RunnerError", "WorkerCrashError", "StallTimeoutError"]
+
+
+class RunnerError(RuntimeError):
+    """Base class for executor failures."""
+
+
+class WorkerCrashError(RunnerError):
+    """A worker process died and the retry budget is exhausted."""
+
+
+class StallTimeoutError(RunnerError):
+    """No job completed within the stall timeout."""
+
+
+# ----------------------------------------------------------------------
+# Worker-side state and entry point
+# ----------------------------------------------------------------------
+
+#: Worlds materialized in this process, keyed by EvaluationSetting.
+_worlds: dict[Any, Any] = {}
+#: World installed by the pool initializer (explicit-world mode).
+_explicit_world: Any = None
+
+#: Test hook: when this env var names a path and the file does not exist
+#: yet, the worker creates it and dies with ``os._exit`` — a
+#: deterministic stand-in for an OOM-kill, used by the crash-safety
+#: tests.  The sentinel file makes the crash happen exactly once, so the
+#: retry path is exercised end-to-end.
+CRASH_ONCE_ENV = "REPRO_RUNNER_CRASH_ONCE"
+
+
+def _worker_init(world: Any) -> None:
+    global _explicit_world
+    _explicit_world = world
+
+
+def _world_for(spec: Any) -> Any:
+    """The world a spec runs against (explicit, or built from its setting)."""
+    if _explicit_world is not None:
+        return _explicit_world
+    setting = spec.setting
+    if setting is None:
+        return None
+    world = _worlds.get(setting)
+    if world is None:
+        world = _worlds[setting] = setting.build()
+    return world
+
+
+def _run_job(spec: Any) -> tuple[Any, obs.MetricsRegistry]:
+    """Worker entry point: execute one spec under a private registry."""
+    crash_sentinel = os.environ.get(CRASH_ONCE_ENV)
+    if crash_sentinel and not os.path.exists(crash_sentinel):
+        with open(crash_sentinel, "w") as handle:
+            handle.write("crashed\n")
+        os._exit(17)
+    local = obs.MetricsRegistry()
+    with obs.observe(local, obs.NULL_TRACER):
+        with local.phase("runner.job"):
+            result = spec.execute(_world_for(spec))
+    return result, local
+
+
+# ----------------------------------------------------------------------
+# Parent-side orchestration
+# ----------------------------------------------------------------------
+
+_UNSET = object()
+
+
+def execute(specs: Sequence[Any], *,
+            jobs: int | None = 1,
+            cache_dir: str | None = None,
+            resume: bool = False,
+            timeout: float | None = None,
+            retries: int = 2,
+            world: Any = None) -> list[Any]:
+    """Run every spec and return the results in spec order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs serially in-process;
+        ``None`` means ``os.cpu_count()``.
+    cache_dir:
+        When set, completed jobs are persisted here as they finish.
+    resume:
+        Load cached results before executing; only misses run.  Requires
+        ``cache_dir``.
+    timeout:
+        Stall watchdog, in seconds: if no job completes for this long,
+        the pool is torn down and the unfinished jobs are retried (the
+        jobs of one sweep are homogeneous, so a stall this long means
+        some job blew its budget).  ``None`` disables the watchdog.
+    retries:
+        How many pool rebuilds (after worker crashes or stalls) to
+        attempt before giving up.
+    world:
+        Explicit ``(matrix, coords, heights)`` world for specs that do
+        not carry a setting (:func:`repro.analysis.experiment.
+        run_comparison` uses this).  Shipped to each worker once via the
+        pool initializer.
+    """
+    if resume and cache_dir is None:
+        raise ValueError("resume=True requires a cache_dir")
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1 (or None for cpu_count)")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+
+    registry = obs.get_registry()
+    cache = ResultCache(cache_dir) if cache_dir else None
+    results: list[Any] = [_UNSET] * len(specs)
+
+    with registry.phase("runner.sweep"):
+        registry.counter("runner.jobs").inc(len(specs))
+        remaining: list[int] = []
+        for i, spec in enumerate(specs):
+            if cache is not None and resume:
+                hit = cache.get(spec)
+                if hit is not MISS:
+                    results[i] = hit
+                    registry.counter("runner.cache_hits").inc()
+                    continue
+                registry.counter("runner.cache_misses").inc()
+            remaining.append(i)
+
+        if jobs == 1:
+            _execute_serial(specs, remaining, world, cache, results, registry)
+        else:
+            _execute_pool(specs, remaining, jobs, world, cache, results,
+                          registry, timeout, retries)
+
+    missing = [i for i, r in enumerate(results) if r is _UNSET]
+    if missing:  # pragma: no cover - defensive; all paths fill or raise
+        raise RunnerError(f"jobs {missing} produced no result")
+    return results
+
+
+def _record(i: int, result: Any, specs: Sequence[Any], cache, results,
+            registry) -> None:
+    results[i] = result
+    if cache is not None:
+        cache.put(specs[i], result)
+    registry.counter("runner.jobs_completed").inc()
+
+
+def _execute_serial(specs, remaining, world, cache, results, registry):
+    for i in remaining:
+        with registry.phase("runner.job"):
+            result = specs[i].execute(world if world is not None
+                                      else _world_for(specs[i]))
+        _record(i, result, specs, cache, results, registry)
+
+
+def _execute_pool(specs, remaining, jobs, world, cache, results, registry,
+                  timeout, retries):
+    attempts = 0
+    while remaining:
+        try:
+            _pool_round(specs, remaining, jobs, world, cache, results,
+                        registry, timeout)
+        except (BrokenProcessPool, StallTimeoutError) as exc:
+            crashed = isinstance(exc, BrokenProcessPool)
+            registry.counter("runner.worker_crashes"
+                             if crashed else "runner.stalls").inc()
+            attempts += 1
+            if attempts > retries:
+                if crashed:
+                    raise WorkerCrashError(
+                        f"worker crashed and {retries} retries exhausted "
+                        f"({len(remaining)} jobs unfinished)") from exc
+                raise
+            registry.counter("runner.retries").inc()
+        remaining = [i for i in remaining if results[i] is _UNSET]
+
+
+def _collect_done(done, futures, specs, cache, results, registry) -> None:
+    """Record every successfully completed future; re-raise pool breakage
+    only after salvaging the batch's good results."""
+    broken: BrokenProcessPool | None = None
+    for future in done:
+        try:
+            result, worker_registry = future.result()
+        except BrokenProcessPool as exc:
+            broken = exc
+            continue
+        registry.merge(worker_registry)
+        _record(futures[future], result, specs, cache, results, registry)
+    if broken is not None:
+        raise broken
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose workers may be wedged."""
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _pool_round(specs, remaining, jobs, world, cache, results, registry,
+                timeout):
+    """One pool lifetime; records whatever completes before any failure.
+
+    The pool is managed by hand (no ``with``) because
+    ``ProcessPoolExecutor.__exit__`` waits for running jobs — with a
+    wedged worker that wait never returns, so the stall watchdog must be
+    able to terminate the worker processes instead.
+    """
+    max_workers = min(jobs, len(remaining)) or 1
+    pool = ProcessPoolExecutor(max_workers=max_workers,
+                               initializer=_worker_init,
+                               initargs=(world,))
+    try:
+        futures = {pool.submit(_run_job, specs[i]): i for i in remaining}
+        not_done = set(futures)
+        try:
+            while not_done:
+                done, not_done = wait(not_done, timeout=timeout,
+                                      return_when=FIRST_COMPLETED)
+                if not done:
+                    _terminate_pool(pool)
+                    raise StallTimeoutError(
+                        f"no job completed within {timeout}s "
+                        f"({len(not_done)} in flight)")
+                _collect_done(done, futures, specs, cache, results, registry)
+        except KeyboardInterrupt:
+            # Graceful drain: cancel everything not yet started, give
+            # in-flight jobs a bounded window to finish (their results
+            # land in the cache), then hard-stop and re-raise.
+            cancelled = {f for f in not_done if f.cancel()}
+            in_flight = not_done - cancelled
+            if in_flight:
+                done, straggling = wait(in_flight,
+                                        timeout=_DRAIN_SECONDS)
+                try:
+                    _collect_done(done, futures, specs, cache, results,
+                                  registry)
+                except BrokenProcessPool:
+                    pass
+            _terminate_pool(pool)
+            raise
+        pool.shutdown(wait=True)
+    except BrokenProcessPool:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+
+
+#: How long a Ctrl-C waits for in-flight jobs before hard-stopping.
+_DRAIN_SECONDS = 10.0

@@ -1,0 +1,161 @@
+"""The runner's determinism and crash-safety contracts.
+
+Three guarantees the parallel runner makes (docs/runner.md):
+
+1. **Scheduling independence** — every figure runner returns
+   bit-identical results at ``jobs=1``, ``jobs=4`` and when replayed
+   from a warm cache, because each cell's random streams are keyed by
+   the cell's identity, never by execution order.
+2. **Worker-crash tolerance** — a worker dying mid-sweep (simulated
+   with the ``REPRO_RUNNER_CRASH_ONCE`` hook, a stand-in for an
+   OOM-kill) is retried transparently and the sweep still returns the
+   exact serial results.
+3. **Crash-safe resume** — SIGKILL-ing an entire sweep process leaves a
+   readable cache of every finished job; rerunning with ``resume=True``
+   recomputes only what is missing and returns the same result.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import obs
+from repro.analysis.experiment import (
+    EvaluationSetting,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_table2,
+)
+from repro.runner import ResultCache, Table2Spec, execute
+from repro.runner.pool import CRASH_ONCE_ENV
+
+SETTING = EvaluationSetting(n_nodes=36, n_runs=3, seed=13)
+
+FIGURES = [
+    ("figure1", run_figure1,
+     dict(datacenter_counts=(4, 6), k=2, micro_clusters=4)),
+    ("figure2", run_figure2,
+     dict(replica_counts=(1, 2), n_dc=6, micro_clusters=4)),
+    ("figure3", run_figure3,
+     dict(micro_cluster_counts=(2, 3), replica_counts=(1, 2), n_dc=6)),
+]
+
+
+def _deterministic_rows(rows):
+    """Table II rows minus their wall-clock timings (never bit-stable)."""
+    return [(r.n_accesses, r.k, r.m, r.online_bytes, r.offline_bytes,
+             r.online_bytes_analytic, r.offline_bytes_analytic)
+            for r in rows]
+
+
+class TestBitIdenticalAcrossJobsLevels:
+    @pytest.mark.parametrize("name,runner,kwargs", FIGURES,
+                             ids=[f[0] for f in FIGURES])
+    def test_serial_parallel_and_resume_agree(self, name, runner, kwargs,
+                                              tmp_path):
+        serial = runner(SETTING, **kwargs)
+        parallel = runner(SETTING, **kwargs, jobs=4,
+                          cache_dir=str(tmp_path))
+        assert parallel == serial
+
+        # Replay entirely from the cache the parallel run populated.
+        with obs.observe() as (registry, _):
+            resumed = runner(SETTING, **kwargs, jobs=4,
+                             cache_dir=str(tmp_path), resume=True)
+        assert resumed == serial
+        assert registry.counter("runner.jobs_completed").value == 0
+        assert registry.counter("runner.cache_hits").value == \
+            registry.counter("runner.jobs").value > 0
+
+    def test_table2_serial_vs_parallel(self):
+        kwargs = dict(n_accesses_list=(200, 400), k=2, m=5, seed=9)
+        assert _deterministic_rows(run_table2(**kwargs, jobs=2)) == \
+            _deterministic_rows(run_table2(**kwargs))
+
+
+class TestWorkerCrashRetry:
+    def test_crashed_worker_is_retried_and_results_unchanged(
+            self, tmp_path, monkeypatch):
+        specs = [Table2Spec(n_accesses=100 + 50 * i, k=2, m=4, seed=3)
+                 for i in range(4)]
+        reference = execute(specs, jobs=1)
+
+        sentinel = tmp_path / "crash-once"
+        monkeypatch.setenv(CRASH_ONCE_ENV, str(sentinel))
+        with obs.observe() as (registry, _):
+            survived = execute(specs, jobs=2, retries=2)
+
+        assert sentinel.exists(), "the crash hook never fired"
+        assert _deterministic_rows(survived) == _deterministic_rows(reference)
+        assert registry.counter("runner.worker_crashes").value >= 1
+        assert registry.counter("runner.retries").value >= 1
+
+    def test_retry_budget_exhaustion_raises(self, tmp_path, monkeypatch):
+        from repro.runner import WorkerCrashError
+
+        # retries=0: the first (guaranteed) crash must surface as
+        # WorkerCrashError instead of being retried.
+        monkeypatch.setenv(CRASH_ONCE_ENV, str(tmp_path / "crash-once"))
+        specs = [Table2Spec(n_accesses=100, k=2, m=4, seed=3)]
+        with pytest.raises(WorkerCrashError):
+            execute(specs, jobs=2, retries=0)
+
+
+_SWEEP_SCRIPT = """
+import sys
+from repro.analysis.experiment import EvaluationSetting, run_figure2
+setting = EvaluationSetting(n_nodes=36, n_runs=3, seed=13)
+run_figure2(setting, replica_counts=(1, 2), n_dc=6, micro_clusters=4,
+            jobs=1, cache_dir=sys.argv[1])
+"""
+
+
+class TestKilledSweepResumes:
+    def test_sigkill_mid_sweep_then_resume_from_cache(self, tmp_path):
+        kwargs = dict(replica_counts=(1, 2), n_dc=6, micro_clusters=4)
+        reference = run_figure2(SETTING, **kwargs)
+
+        cache_dir = str(tmp_path / "cache")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _SWEEP_SCRIPT, cache_dir], env=env)
+        try:
+            # Kill the sweep as soon as some — but not necessarily all —
+            # jobs have been persisted.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break
+                if (os.path.isdir(cache_dir)
+                        and len(ResultCache(cache_dir)) >= 2):
+                    proc.send_signal(signal.SIGKILL)
+                    break
+                time.sleep(0.05)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        finished_before_resume = len(ResultCache(cache_dir))
+        assert finished_before_resume >= 2, "sweep was killed too early"
+
+        with obs.observe() as (registry, _):
+            resumed = run_figure2(SETTING, **kwargs, cache_dir=cache_dir,
+                                  resume=True)
+        assert resumed == reference
+        hits = registry.counter("runner.cache_hits").value
+        completed = registry.counter("runner.jobs_completed").value
+        total = registry.counter("runner.jobs").value
+        # Every job that survived the kill came from the cache; only the
+        # rest were recomputed.
+        assert hits == finished_before_resume
+        assert completed == total - hits

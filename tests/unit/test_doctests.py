@@ -10,6 +10,8 @@ import repro.clustering.stream
 import repro.core.costs
 import repro.core.migration
 import repro.net.latency
+import repro.runner.cache
+import repro.runner.jobs
 
 MODULES = [
     repro.analysis.stats,
@@ -18,6 +20,8 @@ MODULES = [
     repro.core.costs,
     repro.core.migration,
     repro.net.latency,
+    repro.runner.cache,
+    repro.runner.jobs,
 ]
 
 

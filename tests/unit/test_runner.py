@@ -1,0 +1,282 @@
+"""Unit tests for repro.runner: jobs, cache, executor, sweep specs."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.analysis.experiment import EvaluationSetting, Table2Row
+from repro.placement.offline_kmeans import OfflineKMeansPlacement
+from repro.placement.online import OnlineClusteringPlacement
+from repro.placement.random_placement import RandomPlacement
+from repro.runner import (
+    MISS,
+    PlacementRunSpec,
+    ResultCache,
+    SweepSpec,
+    Table2Spec,
+    as_job_strategy,
+    build_strategy,
+    cache_key,
+    execute,
+    load_sweep_spec,
+    seed_sequence,
+    strategy_spec,
+)
+
+
+class TestSeedSequence:
+    def test_matches_default_rng_tuple_seeding(self):
+        # The legacy loops seed with np.random.default_rng((seed, run));
+        # seed_sequence must build the identical stream.
+        for seed, run in [(0, 0), (7, 3), (123, 29)]:
+            a = np.random.default_rng(seed_sequence(seed, run))
+            b = np.random.default_rng((seed, run))
+            assert (a.integers(0, 1 << 30, 8) == b.integers(0, 1 << 30, 8)).all()
+
+    def test_distinct_keys_give_distinct_streams(self):
+        draws = {
+            key: np.random.default_rng(seed_sequence(*key)).integers(0, 1 << 30)
+            for key in [(0, 0), (0, 1), (1, 0), (0, 0, 5)]
+        }
+        assert len(set(draws.values())) == len(draws)
+
+    def test_accepts_numpy_integers(self):
+        a = seed_sequence(np.int64(5), np.int32(2))
+        b = seed_sequence(5, 2)
+        assert a.entropy == b.entropy
+
+
+class TestStrategySpecs:
+    def test_spec_is_canonical(self):
+        assert strategy_spec("online", micro_clusters=4) == \
+            ("online", (("micro_clusters", 4),))
+        # Param order never matters.
+        assert strategy_spec("online", migration_rounds=2, micro_clusters=4) \
+            == strategy_spec("online", micro_clusters=4, migration_rounds=2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy kind"):
+            strategy_spec("quantum")
+
+    def test_roundtrip_through_declarative_form(self):
+        original = OnlineClusteringPlacement(micro_clusters=7,
+                                             migration_rounds=3)
+        spec = as_job_strategy(original)
+        assert spec[0] == "online"
+        rebuilt = build_strategy(spec)
+        assert isinstance(rebuilt, OnlineClusteringPlacement)
+        assert rebuilt.micro_clusters == 7
+        assert rebuilt.migration_rounds == 3
+
+    def test_all_default_strategies_convert(self):
+        from repro.analysis.experiment import default_strategies
+        for strategy in default_strategies(micro_clusters=5):
+            spec = as_job_strategy(strategy)
+            assert isinstance(spec, tuple), strategy
+            assert type(build_strategy(spec)) is type(strategy)
+
+    def test_unknown_strategy_passes_through(self):
+        class Custom(RandomPlacement):
+            name = "custom"
+
+        custom = Custom()
+        assert as_job_strategy(custom) is custom
+        assert build_strategy(custom) is custom
+
+    def test_subclass_not_mistaken_for_registered_kind(self):
+        class Tweaked(OfflineKMeansPlacement):
+            name = "tweaked"
+
+        assert as_job_strategy(Tweaked()) is not None
+        assert not isinstance(as_job_strategy(Tweaked()), tuple)
+
+
+class TestCacheKey:
+    def test_stable_across_processes_and_param_order(self):
+        spec = Table2Spec(n_accesses=100, k=3, m=10)
+        assert cache_key(spec) == cache_key(Table2Spec(n_accesses=100, k=3,
+                                                       m=10))
+
+    def test_sensitive_to_every_config_field(self):
+        base = Table2Spec(n_accesses=100, k=3, m=10, dim=3, seed=0)
+        variants = [
+            Table2Spec(n_accesses=101, k=3, m=10, dim=3, seed=0),
+            Table2Spec(n_accesses=100, k=4, m=10, dim=3, seed=0),
+            Table2Spec(n_accesses=100, k=3, m=11, dim=3, seed=0),
+            Table2Spec(n_accesses=100, k=3, m=10, dim=2, seed=0),
+            Table2Spec(n_accesses=100, k=3, m=10, dim=3, seed=1),
+        ]
+        keys = {cache_key(s) for s in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_sensitive_to_code_salt(self):
+        spec = Table2Spec(n_accesses=100, k=3, m=10)
+        assert cache_key(spec, salt="v1") != cache_key(spec, salt="v2")
+
+    def test_placement_spec_key_covers_strategy_and_world(self):
+        def spec(**overrides):
+            payload = dict(sweep="s", series="online clustering", x=1.0,
+                           run_index=0, n_dc=5, k=2,
+                           strategy=strategy_spec("online", micro_clusters=4),
+                           seed=0, world_key="abc")
+            payload.update(overrides)
+            return PlacementRunSpec(**payload)
+
+        base = cache_key(spec())
+        assert cache_key(spec(strategy=strategy_spec(
+            "online", micro_clusters=5))) != base
+        assert cache_key(spec(world_key="def")) != base
+        assert cache_key(spec(run_index=1)) != base
+        assert cache_key(spec(candidate_mode="uniform")) != base
+
+
+class TestResultCache:
+    def test_roundtrip_float_and_table2_row(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = Table2Spec(n_accesses=10, k=2, m=3)
+        assert cache.get(spec) is MISS
+        cache.put(spec, 12.5)
+        assert cache.get(spec) == 12.5
+
+        row = Table2Row(n_accesses=10, k=2, m=4, online_bytes=100,
+                        offline_bytes=200, online_seconds=0.1,
+                        offline_seconds=0.2, online_ingest_seconds=0.05,
+                        online_bytes_analytic=90,
+                        offline_bytes_analytic=210)
+        row_spec = Table2Spec(n_accesses=10, k=2, m=4)
+        cache.put(row_spec, row)
+        assert cache.get(row_spec) == row
+        assert len(cache) == 2
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = Table2Spec(n_accesses=10, k=2, m=3)
+        key = cache.put(spec, 1.5)
+        path = os.path.join(str(tmp_path), key[:2], key + ".json")
+
+        with open(path, "w") as handle:
+            handle.write("{ torn json")
+        assert cache.get(spec) is MISS
+
+        with open(path, "w") as handle:
+            json.dump({"schema": "other/v9", "result": 1.5}, handle)
+        assert cache.get(spec) is MISS
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(Table2Spec(n_accesses=10, k=2, m=3), 1.5)
+        leftovers = [f for _r, _d, files in os.walk(str(tmp_path))
+                     for f in files if f.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_uncacheable_result_type_rejected(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(TypeError, match="cannot cache"):
+            cache.put(Table2Spec(n_accesses=10, k=2, m=3), object())
+
+
+class TestExecute:
+    def _specs(self, n=4):
+        return [Table2Spec(n_accesses=50 + 10 * i, k=2, m=3, seed=5)
+                for i in range(n)]
+
+    def test_serial_returns_results_in_spec_order(self):
+        specs = self._specs()
+        rows = execute(specs, jobs=1)
+        assert [r.n_accesses for r in rows] == [s.n_accesses for s in specs]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="requires a cache_dir"):
+            execute([], resume=True)
+        with pytest.raises(ValueError, match="jobs must be"):
+            execute([], jobs=0)
+        with pytest.raises(ValueError, match="retries"):
+            execute([], retries=-1)
+
+    def test_cache_written_even_without_resume(self, tmp_path):
+        specs = self._specs(2)
+        execute(specs, jobs=1, cache_dir=str(tmp_path))
+        assert len(ResultCache(str(tmp_path))) == 2
+
+    def test_resume_skips_cached_jobs(self, tmp_path):
+        specs = self._specs(3)
+        first = execute(specs, jobs=1, cache_dir=str(tmp_path))
+        with obs.observe() as (registry, _):
+            second = execute(specs, jobs=1, cache_dir=str(tmp_path),
+                             resume=True)
+        assert second == first
+        assert registry.counter("runner.cache_hits").value == 3
+        assert registry.counter("runner.jobs_completed").value == 0
+
+    def test_partial_resume_runs_only_misses(self, tmp_path):
+        specs = self._specs(4)
+        execute(specs[:2], jobs=1, cache_dir=str(tmp_path))
+        with obs.observe() as (registry, _):
+            execute(specs, jobs=1, cache_dir=str(tmp_path), resume=True)
+        assert registry.counter("runner.cache_hits").value == 2
+        assert registry.counter("runner.cache_misses").value == 2
+        assert registry.counter("runner.jobs_completed").value == 2
+
+    def test_metrics_instrumented(self):
+        specs = self._specs(3)
+        with obs.observe() as (registry, _):
+            execute(specs, jobs=1)
+        assert registry.counter("runner.jobs").value == 3
+        assert registry.counter("runner.jobs_completed").value == 3
+        assert registry.timer("runner.sweep").calls == 1
+        assert registry.timer("runner.job").calls == 3
+
+
+class TestSweepSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep kind"):
+            SweepSpec(kind="figure9", setting=EvaluationSetting(), params={})
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            SweepSpec(kind="figure1", setting=EvaluationSetting(),
+                      params={"bogus": 1})
+
+    def test_load_toml_and_json_agree(self, tmp_path):
+        toml_path = tmp_path / "sweep.toml"
+        toml_path.write_text(
+            'kind = "figure2"\n'
+            "[setting]\nn_nodes = 40\nn_runs = 2\nseed = 3\n"
+            "[params]\nreplica_counts = [1, 2]\nn_dc = 6\n")
+        json_path = tmp_path / "sweep.json"
+        json_path.write_text(json.dumps({
+            "kind": "figure2",
+            "setting": {"n_nodes": 40, "n_runs": 2, "seed": 3},
+            "params": {"replica_counts": [1, 2], "n_dc": 6},
+        }))
+        assert load_sweep_spec(str(toml_path)) == load_sweep_spec(
+            str(json_path))
+
+    def test_load_rejects_unknown_setting_field(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"kind": "figure1",
+                                    "setting": {"n_planets": 9}}))
+        with pytest.raises(ValueError, match="unknown setting fields"):
+            load_sweep_spec(str(path))
+
+    def test_load_rejects_unsupported_extension(self, tmp_path):
+        path = tmp_path / "sweep.yaml"
+        path.write_text("kind: figure1\n")
+        with pytest.raises(ValueError, match="unsupported sweep spec"):
+            load_sweep_spec(str(path))
+
+    def test_run_sweep_tiny_figure(self, tmp_path):
+        from repro.analysis.experiment import run_figure2
+        from repro.runner import run_sweep
+
+        setting = EvaluationSetting(n_nodes=30, n_runs=2, seed=4)
+        spec = SweepSpec(kind="figure2", setting=setting,
+                         params={"replica_counts": (1, 2), "n_dc": 6,
+                                 "micro_clusters": 4})
+        result = run_sweep(spec)
+        direct = run_figure2(setting, replica_counts=(1, 2), n_dc=6,
+                             micro_clusters=4)
+        assert result.series == direct.series

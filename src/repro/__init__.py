@@ -16,7 +16,9 @@ every substrate it runs on:
 * :mod:`repro.store` — a replicated object store that exercises the whole
   stack end-to-end (reads, writes, quorums, migration);
 * :mod:`repro.workloads` — client populations, temporal patterns, traces;
-* :mod:`repro.analysis` — the paper's evaluation as callable experiments.
+* :mod:`repro.analysis` — the paper's evaluation as callable experiments;
+* :mod:`repro.chaos` — declarative fault schedules (partitions, loss,
+  coordinator crashes) run against a fault-free twin of the same world.
 
 Quickstart::
 

@@ -1,0 +1,227 @@
+"""Declarative chaos scenarios: a TOML/JSON file in, a fault plan out.
+
+A scenario file names the world, the workload, the store's resilience
+knobs and a schedule of faults::
+
+    name = "smoke"
+    seed = 7
+    runs = 2
+
+    [world]
+    n_nodes = 40                  # emulated nodes
+    n_dc = 8                      # candidate data centers
+
+    [object]
+    k = 3
+    epoch_period_ms = 10_000.0
+
+    [workload]
+    rate_per_second = 120.0
+    duration_ms = 60_000.0
+
+    [store]                       # resilience knobs (all optional)
+    read_timeout_ms = 600.0
+    auto_repair = true
+
+    [retry]                       # RetryPolicy overrides (optional)
+    timeout_ms = 2_000.0
+    max_attempts = 3
+
+    [[faults]]
+    kind = "crash"                # crash | partition | flaky-link |
+    at = 20_000.0                 #   crash-coordinator
+    node = 2                      # candidate *position*, not a node id
+    until = 35_000.0              # optional auto-repair time
+
+Fault node references are positions into the candidate list (the
+scenario cannot know which node ids a seeded run draws).  ``partition``
+takes ``group_a`` (and optional ``group_b``, default: the remaining
+candidates); ``flaky-link`` takes ``a``/``b``/``loss``/``symmetric``;
+``crash-coordinator`` needs no node — it kills whatever node the
+failover protocol currently ranks as coordinator when it fires.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from repro.core.migration import RetryPolicy
+
+__all__ = ["FaultSpec", "ChaosScenario", "load_scenario", "FAULT_KINDS"]
+
+#: Fault kind -> required entry fields (beyond ``kind`` and ``at``).
+FAULT_KINDS: dict[str, tuple[str, ...]] = {
+    "crash": ("node",),
+    "partition": ("group_a",),
+    "flaky-link": ("a", "b", "loss"),
+    "crash-coordinator": (),
+}
+
+#: Optional entry fields accepted per kind.
+_OPTIONAL: dict[str, tuple[str, ...]] = {
+    "crash": ("until",),
+    "partition": ("group_b", "until"),
+    "flaky-link": ("symmetric", "until"),
+    "crash-coordinator": ("until",),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.  Node references are candidate positions."""
+
+    kind: str
+    at: float
+    node: int | None = None
+    group_a: tuple[int, ...] = ()
+    group_b: tuple[int, ...] = ()
+    a: int | None = None
+    b: int | None = None
+    loss: float | None = None
+    symmetric: bool = False
+    until: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"known: {sorted(FAULT_KINDS)}")
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError("fault 'until' must come after 'at'")
+        if self.kind == "crash" and self.node is None:
+            raise ValueError("crash fault needs a 'node'")
+        if self.kind == "partition" and not self.group_a:
+            raise ValueError("partition fault needs a non-empty 'group_a'")
+        if self.kind == "flaky-link":
+            if self.a is None or self.b is None or self.loss is None:
+                raise ValueError("flaky-link fault needs 'a', 'b', 'loss'")
+            if not 0.0 <= self.loss <= 1.0:
+                raise ValueError("link loss must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One chaos experiment: world + workload + fault schedule."""
+
+    name: str = "chaos"
+    seed: int = 0
+    runs: int = 1
+    # World
+    n_nodes: int = 40
+    n_dc: int = 8
+    coord_system: str = "rnp"
+    # Object / control loop
+    k: int = 3
+    epoch_period_ms: float = 10_000.0
+    max_micro_clusters: int = 10
+    min_relative_gain: float = 0.02
+    # Workload
+    rate_per_second: float = 120.0
+    duration_ms: float = 60_000.0
+    settle_ms: float = 5_000.0
+    # Store resilience knobs
+    read_timeout_ms: float | None = 600.0
+    max_read_attempts: int = 3
+    auto_repair: bool = True
+    repair_period_ms: float = 2_000.0
+    retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    # Faults
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError("a scenario needs at least one run")
+        if not 2 <= self.n_dc <= self.n_nodes:
+            raise ValueError("need 2 <= n_dc <= n_nodes")
+        if not 1 <= self.k <= self.n_dc:
+            raise ValueError("need 1 <= k <= n_dc")
+        if self.duration_ms <= 0 or self.epoch_period_ms <= 0:
+            raise ValueError("durations must be positive")
+        horizon = self.duration_ms + self.settle_ms
+        for fault in self.faults:
+            if fault.at >= horizon:
+                raise ValueError(f"fault at {fault.at} ms lies beyond the "
+                                 f"run horizon {horizon} ms")
+            for position in ((fault.node,) if fault.node is not None else ()) \
+                    + fault.group_a + fault.group_b \
+                    + tuple(p for p in (fault.a, fault.b) if p is not None):
+                if not 0 <= position < self.n_dc:
+                    raise ValueError(
+                        f"fault references candidate position {position}, "
+                        f"but the scenario has {self.n_dc} candidates")
+
+
+def _parse_fault(entry: dict, index: int, source: str) -> FaultSpec:
+    if not isinstance(entry, dict):
+        raise ValueError(f"{source}: fault #{index} must be a table/object")
+    kind = entry.get("kind")
+    if not kind:
+        raise ValueError(f"{source}: fault #{index} needs a 'kind'")
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"{source}: fault #{index} has unknown kind "
+                         f"{kind!r}; known: {sorted(FAULT_KINDS)}")
+    allowed = {"kind", "at", *FAULT_KINDS[kind], *_OPTIONAL[kind]}
+    unknown = sorted(set(entry) - allowed)
+    if unknown:
+        raise ValueError(f"{source}: fault #{index} ({kind}) does not "
+                         f"accept {unknown}; allowed: {sorted(allowed)}")
+    if "at" not in entry:
+        raise ValueError(f"{source}: fault #{index} needs an 'at' time")
+    payload = dict(entry)
+    for group in ("group_a", "group_b"):
+        if group in payload:
+            payload[group] = tuple(int(p) for p in payload[group])
+    return FaultSpec(**payload)
+
+
+def _parse_scenario(payload: dict, source: str) -> ChaosScenario:
+    if not isinstance(payload, dict):
+        raise ValueError(f"{source}: chaos scenario must be a table/object")
+    flat: dict[str, Any] = {}
+    for key in ("name", "seed", "runs"):
+        if key in payload:
+            flat[key] = payload[key]
+    # The nested tables are flat namespaces over ChaosScenario fields.
+    scenario_fields = {f.name for f in fields(ChaosScenario)}
+    for section in ("world", "object", "workload", "store"):
+        table = payload.get(section, {})
+        unknown = sorted(set(table) - scenario_fields)
+        if unknown:
+            raise ValueError(f"{source}: unknown [{section}] fields "
+                             f"{unknown}")
+        flat.update(table)
+    retry_table = payload.get("retry", None)
+    if retry_table is not None:
+        policy_fields = {f.name for f in fields(RetryPolicy)}
+        unknown = sorted(set(retry_table) - policy_fields)
+        if unknown:
+            raise ValueError(f"{source}: unknown [retry] fields {unknown}")
+        flat["retry"] = RetryPolicy(**retry_table)
+    faults = payload.get("faults", [])
+    flat["faults"] = tuple(_parse_fault(entry, i, source)
+                           for i, entry in enumerate(faults))
+    stray = sorted(set(payload) - {"name", "seed", "runs", "world", "object",
+                                   "workload", "store", "retry", "faults"})
+    if stray:
+        raise ValueError(f"{source}: unknown top-level entries {stray}")
+    return ChaosScenario(**flat)
+
+
+def load_scenario(path: str) -> ChaosScenario:
+    """Load a chaos scenario from a ``.toml`` or ``.json`` file."""
+    extension = os.path.splitext(path)[1].lower()
+    if extension == ".toml":
+        import tomllib
+        with open(path, "rb") as handle:
+            payload = tomllib.load(handle)
+    elif extension == ".json":
+        with open(path) as handle:
+            payload = json.load(handle)
+    else:
+        raise ValueError(f"unsupported chaos scenario format {extension!r} "
+                         "(use .toml or .json)")
+    return _parse_scenario(payload, path)

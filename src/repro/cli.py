@@ -8,6 +8,7 @@ Usage::
     python -m repro table2  [options]      # Table II cost comparison
     python -m repro coords  [options]      # coordinate-system ablation
     python -m repro sweep SPEC [options]   # declarative sweep (JSON/TOML)
+    python -m repro chaos SCENARIO [opts]  # chaos run (faults vs baseline)
     python -m repro report  --out FILE     # full Markdown reproduction report
     python -m repro matrix  --out FILE     # dump the synthetic RTT matrix
 
@@ -181,6 +182,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import (
+        chaos_summary_json,
+        format_chaos,
+        load_scenario,
+        run_chaos,
+    )
+
+    scenario = load_scenario(args.scenario)
+    summary = run_chaos(scenario, **_runner_kwargs(args))
+    print(format_chaos(summary))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(chaos_summary_json(summary) + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_matrix(args: argparse.Namespace) -> int:
     matrix, topology = synthetic_planetlab_matrix(
         PlanetLabParams(n=args.nodes), seed=args.seed)
@@ -246,6 +265,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_arg(ps)
     _add_runner_args(ps)
     ps.set_defaults(func=_cmd_sweep)
+
+    pz = sub.add_parser("chaos",
+                        help="run a chaos scenario against the live stack")
+    pz.add_argument("scenario", metavar="SCENARIO",
+                    help="chaos scenario file (.toml or .json); see "
+                         "examples/chaos/ and docs/chaos.md")
+    pz.add_argument("--out", default=None, metavar="FILE",
+                    help="also write the summary as canonical JSON")
+    _add_metrics_arg(pz)
+    _add_runner_args(pz)
+    pz.set_defaults(func=_cmd_chaos)
 
     pm = sub.add_parser("matrix", help="dump the synthetic RTT matrix")
     pm.add_argument("--nodes", type=int, default=226)

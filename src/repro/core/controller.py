@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.clustering.stream import ClusterFeature
 from repro.coords.space import EuclideanSpace
 from repro.core.costs import CostTally
@@ -89,7 +90,16 @@ class ControllerConfig:
 
 @dataclass(frozen=True)
 class EpochReport:
-    """What one placement epoch observed and decided."""
+    """What one placement epoch observed and decided.
+
+    The trailing fields describe fault-tolerance state (docs/chaos.md):
+    ``coordinator`` is the elected coordinator position and ``lease``
+    its term; ``reachable_sites`` is the subset of replica sites whose
+    summaries the coordinator could pool (``None`` = no restriction);
+    ``degraded`` flags an epoch that ran without full visibility;
+    ``stale_summaries_dropped`` counts summaries discarded because
+    their site was unreachable when the epoch ran.
+    """
 
     epoch: int
     k: int
@@ -100,6 +110,11 @@ class EpochReport:
     current_predicted_delay: float
     proposed_predicted_delay: float
     summary_bytes: int
+    coordinator: int | None = None
+    lease: int = 0
+    reachable_sites: tuple[int, ...] | None = None
+    degraded: bool = False
+    stale_summaries_dropped: int = 0
 
     @property
     def migrated(self) -> bool:
@@ -143,6 +158,12 @@ class ReplicationController:
         self.tally = CostTally()
         self.k = self.config.k
         self.epoch = 0
+        #: Elected coordinator (a site position) and its lease term.
+        #: ``None`` until the first election; legacy callers that never
+        #: elect keep running exactly as before.
+        self.coordinator: int | None = None
+        self.lease = 0
+        self.failovers = 0
 
         sites = list(dict.fromkeys(int(s) for s in initial_sites))
         if not sites:
@@ -214,26 +235,124 @@ class ReplicationController:
         return coords[:, :space.dim] if space.use_height else coords
 
     # ------------------------------------------------------------------
+    # Coordinator failover
+    # ------------------------------------------------------------------
+    def elect_coordinator(self, ranking: Sequence[int]) -> tuple[int, int]:
+        """Adopt the first position of ``ranking`` as coordinator.
+
+        ``ranking`` is the caller's deterministic successor order over
+        live positions — typically the default coordinator first, then
+        the live replica holders in sorted order (the storage layer
+        builds it from its failure detector).  When the winner differs
+        from the incumbent, the lease term advances, which fences any
+        epoch still presented under the old term (see :meth:`run_epoch`'s
+        ``lease`` parameter).  Returns ``(coordinator, lease)``.
+        """
+        candidates = [int(p) for p in ranking]
+        if not candidates:
+            raise ValueError("cannot elect from an empty ranking")
+        winner = candidates[0]
+        if winner != self.coordinator:
+            if self.coordinator is not None:
+                self.failovers += 1
+                registry = obs.get_registry()
+                if registry.enabled:
+                    registry.counter("controller.failovers").inc()
+            self.coordinator = winner
+            self.lease += 1
+        return self.coordinator, self.lease
+
+    # ------------------------------------------------------------------
     # The epoch
     # ------------------------------------------------------------------
-    def run_epoch(self, rng: np.random.Generator | None = None) -> EpochReport:
-        """Collect summaries, run Algorithm 1, migrate if justified."""
+    def run_epoch(self, rng: np.random.Generator | None = None, *,
+                  reachable: Sequence[int] | None = None,
+                  eligible: Sequence[int] | None = None,
+                  lease: int | None = None) -> EpochReport:
+        """Collect summaries, run Algorithm 1, migrate if justified.
+
+        Parameters
+        ----------
+        rng:
+            Randomness for the clustering step.
+        reachable:
+            Site positions the coordinator can currently reach.  Only
+            their summaries are pooled; summaries of unreachable sites
+            are *discarded* (never shipped late into a future epoch —
+            the "silently using stale summaries" failure mode).
+            ``None`` (the default) means full visibility.
+        eligible:
+            Candidate positions that may receive replicas this epoch
+            (e.g. the data centers reachable from the coordinator).
+            When fewer than ``k`` candidates are eligible, the epoch
+            completes without migrating rather than shedding replicas
+            because of a partition.  ``None`` means all candidates.
+        lease:
+            The coordinator lease term this epoch runs under.  A term
+            older than the controller's current lease identifies a
+            stale coordinator re-entering after a failover; its epoch
+            is rejected without touching any state.
+        """
+        registry = obs.get_registry()
+        if lease is not None and lease < self.lease:
+            if registry.enabled:
+                registry.counter("controller.stale_epochs_rejected").inc()
+            verdict = MigrationVerdict(
+                False, 0.0, 0.0, 0.0,
+                f"stale coordinator lease {lease} rejected "
+                f"(current {self.lease})")
+            return EpochReport(self.epoch, self.k, 0, self.sites, self.sites,
+                               verdict, 0.0, 0.0, 0,
+                               coordinator=self.coordinator, lease=self.lease)
+
         rng = rng or np.random.default_rng(self.epoch)
         self.epoch += 1
         self.tally.epochs += 1
 
-        accesses = sum(s.accesses for s in self._summaries.values())
-        accesses += sum(s.accesses for s in self._write_summaries.values())
-        summary_bytes = sum(s.wire_size_bytes() for s in self._summaries.values())
+        reachable_sites: tuple[int, ...] | None = None
+        stale_dropped = 0
+        if reachable is not None:
+            reachable_set = {int(s) for s in reachable} & set(self.sites)
+            reachable_sites = tuple(s for s in self.sites
+                                    if s in reachable_set)
+            for site in self.sites:
+                if site in reachable_set:
+                    continue
+                # Unreachable this epoch: its summary covers a window the
+                # coordinator never saw end-to-end — discard rather than
+                # let it leak, stale, into a later epoch.
+                for summaries in (self._summaries, self._write_summaries):
+                    summary = summaries[site]
+                    if summary.accesses > 0:
+                        stale_dropped += 1
+                    summary.reset()
+            if registry.enabled and stale_dropped:
+                registry.counter(
+                    "controller.stale_summaries_dropped").inc(stale_dropped)
+            pooled_from = reachable_set
+        else:
+            pooled_from = set(self.sites)
+
+        accesses = sum(s.accesses for site, s in self._summaries.items()
+                       if site in pooled_from)
+        accesses += sum(s.accesses
+                        for site, s in self._write_summaries.items()
+                        if site in pooled_from)
+        summary_bytes = sum(s.wire_size_bytes()
+                            for site, s in self._summaries.items()
+                            if site in pooled_from)
         summary_bytes += sum(s.wire_size_bytes()
-                             for s in self._write_summaries.values())
+                             for site, s in self._write_summaries.items()
+                             if site in pooled_from)
         self.tally.summary_bytes += summary_bytes
         pooled: list[ClusterFeature] = []
-        for summary in self._summaries.values():
-            pooled.extend(summary.snapshot())
+        for site, summary in self._summaries.items():
+            if site in pooled_from:
+                pooled.extend(summary.snapshot())
         pooled_writes: list[ClusterFeature] = []
-        for summary in self._write_summaries.values():
-            pooled_writes.extend(summary.snapshot())
+        for site, summary in self._write_summaries.items():
+            if site in pooled_from:
+                pooled_writes.extend(summary.snapshot())
         if not self.config.write_aware:
             # Paper mode: writes (if any were recorded) already live in
             # the read stream; nothing extra to pool.
@@ -242,31 +361,74 @@ class ReplicationController:
         if self.config.adaptive_k:
             self._adapt_k(accesses)
 
+        eligible_idx: np.ndarray | None = None
+        if eligible is not None:
+            eligible_idx = np.array(sorted({int(p) for p in eligible}),
+                                    dtype=int)
+            if eligible_idx.size and (
+                    eligible_idx.min() < 0
+                    or eligible_idx.max() >= self.dc_coords.shape[0]):
+                raise ValueError("eligible positions outside candidates")
+        degraded = ((reachable_sites is not None
+                     and set(reachable_sites) != set(self.sites))
+                    or (eligible_idx is not None
+                        and eligible_idx.size < self.dc_coords.shape[0]))
+        if registry.enabled and degraded:
+            registry.counter("controller.epochs_degraded").inc()
+
         previous_sites = self.sites
+        extra = dict(coordinator=self.coordinator,
+                     lease=self.lease if lease is None else lease,
+                     reachable_sites=reachable_sites, degraded=degraded,
+                     stale_summaries_dropped=stale_dropped)
         if not pooled and not pooled_writes:
-            # Nobody accessed the object this epoch: nothing to learn.
-            verdict = MigrationVerdict(False, 0.0, 0.0, 0.0, "no accesses observed")
+            # Nobody (reachable) accessed the object this epoch.
+            reason = ("no reachable summaries this epoch"
+                      if reachable_sites is not None and not reachable_sites
+                      else "no accesses observed")
+            verdict = MigrationVerdict(False, 0.0, 0.0, 0.0, reason)
             report = EpochReport(self.epoch, self.k, 0, previous_sites,
-                                 previous_sites, verdict, 0.0, 0.0, 0)
+                                 previous_sites, verdict, 0.0, 0.0, 0,
+                                 **extra)
             self._roll_summaries(migrated=False)
             return report
 
+        if eligible_idx is not None and eligible_idx.size < self.k:
+            # A partition has hidden too many candidates: degrade to a
+            # no-op epoch instead of shedding replicas we still own.
+            verdict = MigrationVerdict(
+                False, 0.0, 0.0, 0.0,
+                f"only {eligible_idx.size} reachable candidates for k={self.k}")
+            report = EpochReport(self.epoch, self.k, accesses, previous_sites,
+                                 previous_sites, verdict, 0.0, 0.0,
+                                 summary_bytes, **extra)
+            self._roll_summaries(migrated=False)
+            return report
+
+        placement_coords = (self.dc_coords if eligible_idx is None
+                            else self.dc_coords[eligible_idx])
         started = time.perf_counter()
         if self.config.write_aware:
             rw_decision = place_replicas_rw(pooled, pooled_writes, self.k,
-                                            self.dc_coords, rng)
+                                            placement_coords, rng)
             proposed_sites = rw_decision.data_centers
             proposed_delay = rw_decision.predicted_cost
             current_delay = estimate_rw_cost(
                 pooled, pooled_writes,
                 self.dc_coords[np.array(previous_sites)])[0]
         else:
-            decision = place_replicas(pooled, self.k, self.dc_coords, rng,
+            decision = place_replicas(pooled, self.k, placement_coords, rng,
                                       self.config.use_bytes_weight)
             proposed_sites = decision.data_centers
             proposed_delay = decision.predicted_delay
             current_delay = estimate_average_delay(
                 pooled, self.dc_coords[np.array(previous_sites)])
+        if eligible_idx is not None:
+            # Map positions within the eligible subset back to candidate
+            # positions — a migration can never target a partitioned-away
+            # data center, by construction.
+            proposed_sites = tuple(int(eligible_idx[p])
+                                   for p in proposed_sites)
         self.tally.clustering_seconds += time.perf_counter() - started
         if len(proposed_sites) < len(previous_sites):
             # Shedding replicas can never *reduce* delay, so the latency
@@ -303,6 +465,7 @@ class ReplicationController:
             current_predicted_delay=current_delay,
             proposed_predicted_delay=proposed_delay,
             summary_bytes=summary_bytes,
+            **extra,
         )
         self._roll_summaries(migrated=verdict.migrate)
         return report

@@ -13,7 +13,66 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["MigrationCostModel", "MigrationPolicy", "MigrationVerdict"]
+import numpy as np
+
+__all__ = ["MigrationCostModel", "MigrationPolicy", "MigrationVerdict",
+           "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry with exponential backoff + jitter for transfers.
+
+    Applied by the store to migration transfers and micro-cluster
+    summary shipping: an unacknowledged transfer is retried after an
+    exponentially growing backoff, and abandoned (rolled back) once the
+    attempt budget is exhausted.  Jitter is drawn from a simulator RNG
+    stream, so runs remain bit-deterministic.
+
+    Parameters
+    ----------
+    timeout_ms:
+        How long to wait for a transfer acknowledgement before the
+        attempt is considered failed.
+    max_attempts:
+        Total attempts (first try included) before giving up.
+    base_backoff_ms / backoff_factor / max_backoff_ms:
+        Attempt *i* (1-based) waits ``base * factor**(i-1)`` ms after
+        its timeout, capped at ``max_backoff_ms``.
+    jitter:
+        Relative jitter: the backoff is scaled by a uniform draw from
+        ``[1 - jitter, 1 + jitter]``.
+    """
+
+    timeout_ms: float = 5_000.0
+    max_attempts: int = 4
+    base_backoff_ms: float = 500.0
+    backoff_factor: float = 2.0
+    max_backoff_ms: float = 30_000.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must lie in [0, 1)")
+
+    def backoff_ms(self, attempt: int,
+                   rng: np.random.Generator | None = None) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        delay = min(self.base_backoff_ms * self.backoff_factor ** (attempt - 1),
+                    self.max_backoff_ms)
+        if self.jitter > 0 and rng is not None:
+            delay *= float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+        return delay
 
 
 @dataclass(frozen=True)

@@ -51,13 +51,22 @@ class OnlineClusteringPlacement(PlacementStrategy):
         How clients choose which replica to access while summaries are
         being built: ``"coords"`` (predict with network coordinates, the
         deployable behaviour) or ``"true"`` (oracle lowest-latency).
+    summary_loss:
+        Probability that a replica's summary is lost on its way to the
+        coordinator each round (a lossy wide-area control channel, the
+        batch analogue of the chaos harness's flaky links).  A lost
+        summary's micro-clusters simply do not inform that round's
+        placement; its bytes are still charged — the transmission
+        happened, the delivery did not.  ``0.0`` is the paper's
+        fault-free behaviour.
     """
 
     name = "online clustering"
 
     def __init__(self, micro_clusters: int = 10, migration_rounds: int = 2,
                  accesses_per_client: int = 3, radius_floor: float = 5.0,
-                 selection: str = "coords") -> None:
+                 selection: str = "coords",
+                 summary_loss: float = 0.0) -> None:
         if micro_clusters < 1:
             raise ValueError("micro-cluster budget must be positive")
         if migration_rounds < 1:
@@ -66,13 +75,18 @@ class OnlineClusteringPlacement(PlacementStrategy):
             raise ValueError("clients must access at least once")
         if selection not in ("coords", "true"):
             raise ValueError("selection must be 'coords' or 'true'")
+        if not 0.0 <= summary_loss < 1.0:
+            raise ValueError("summary loss must lie in [0, 1)")
         self.micro_clusters = micro_clusters
         self.migration_rounds = migration_rounds
         self.accesses_per_client = accesses_per_client
         self.radius_floor = radius_floor
         self.selection = selection
+        self.summary_loss = summary_loss
         #: Control-plane bytes shipped during the most recent place().
         self.last_summary_bytes = 0
+        #: Summaries dropped by the lossy channel in the last place().
+        self.last_summaries_lost = 0
 
     def place(self, problem: PlacementProblem,
               rng: np.random.Generator) -> tuple[int, ...]:
@@ -84,6 +98,9 @@ class OnlineClusteringPlacement(PlacementStrategy):
                 self.migration_rounds)
             registry.counter("placement.online.summary_bytes").inc(
                 self.last_summary_bytes)
+            if self.last_summaries_lost:
+                registry.counter("placement.online.summaries_lost").inc(
+                    self.last_summaries_lost)
         return sites
 
     def _place(self, problem: PlacementProblem,
@@ -97,6 +114,7 @@ class OnlineClusteringPlacement(PlacementStrategy):
         positions = list(rng.choice(len(problem.candidates), size=k,
                                     replace=False))
         self.last_summary_bytes = 0
+        self.last_summaries_lost = 0
 
         for _ in range(self.migration_rounds):
             summaries = {pos: ReplicaAccessSummary(self.micro_clusters,
@@ -110,7 +128,15 @@ class OnlineClusteringPlacement(PlacementStrategy):
             pooled = []
             for summary in summaries.values():
                 self.last_summary_bytes += summary.wire_size_bytes()
+                if (self.summary_loss > 0.0
+                        and rng.random() < self.summary_loss):
+                    self.last_summaries_lost += 1
+                    continue
                 pooled.extend(summary.snapshot())
+            if not pooled:
+                # Every summary was lost: nothing to learn this round,
+                # keep the current placement rather than moving blind.
+                continue
             decision = place_replicas(pooled, k, candidate_coords, rng,
                                       dc_heights=problem.candidate_heights())
             positions = list(decision.data_centers)

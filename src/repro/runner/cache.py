@@ -61,11 +61,15 @@ def _encode_result(result: Any) -> Any:
 def _decode_result(encoded: Any) -> Any:
     if isinstance(encoded, dict) and "__dataclass__" in encoded:
         name = encoded["__dataclass__"]
-        if name != "Table2Row":
-            raise ValueError(f"unknown cached result type {name!r}")
-        from repro.analysis.experiment import Table2Row
         fields = {k: v for k, v in encoded.items() if k != "__dataclass__"}
-        return Table2Row(**fields)
+        if name == "Table2Row":
+            from repro.analysis.experiment import Table2Row
+            return Table2Row(**fields)
+        if name == "ChaosRunResult":
+            from repro.chaos.harness import ChaosRunResult
+            fields["final_sites"] = tuple(fields["final_sites"])
+            return ChaosRunResult(**fields)
+        raise ValueError(f"unknown cached result type {name!r}")
     return float(encoded)
 
 

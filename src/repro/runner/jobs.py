@@ -93,7 +93,7 @@ _STRATEGY_PARAMS: dict[str, tuple[str, ...]] = {
     "random": (),
     "offline_kmeans": ("n_init",),
     "online": ("micro_clusters", "migration_rounds", "accesses_per_client",
-               "radius_floor", "selection"),
+               "radius_floor", "selection", "summary_loss"),
     "optimal": ("max_combinations",),
 }
 

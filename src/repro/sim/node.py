@@ -78,6 +78,10 @@ class Network:
         self.per_node: dict[int, TrafficStats] = {}
         self.per_kind_bytes: dict[str, int] = {}
         self._down: set[int] = set()
+        #: Directed links currently cut by a partition: (sender, recipient).
+        self._blocked: set[tuple[int, int]] = set()
+        #: Directed per-link drop probability (flaky links).
+        self._loss: dict[tuple[int, int], float] = {}
         self.messages_dropped = 0
 
     def register(self, node: "Node") -> None:
@@ -100,10 +104,22 @@ class Network:
         """
         if message.recipient not in self.nodes:
             raise KeyError(f"unknown recipient {message.recipient}")
+        registry = obs.get_registry()
         if message.sender in self._down:
             self.messages_dropped += 1
             return
-        registry = obs.get_registry()
+        link = (message.sender, message.recipient)
+        if link in self._blocked:
+            self.messages_dropped += 1
+            if registry.enabled:
+                registry.counter("net.messages_blocked").inc()
+            return
+        loss = self._loss.get(link)
+        if loss is not None and self.sim.rng("net.loss").random() < loss:
+            self.messages_dropped += 1
+            if registry.enabled:
+                registry.counter("net.messages_lost").inc()
+            return
         if registry.enabled:
             registry.counter("net.messages_sent").inc()
             registry.counter("net.bytes_sent").inc(message.size_bytes)
@@ -123,6 +139,10 @@ class Network:
         if node is None:  # node retired while the message was in flight
             return
         if message.recipient in self._down:
+            self.messages_dropped += 1
+            return
+        if (message.sender, message.recipient) in self._blocked:
+            # The link was cut while the message was in flight.
             self.messages_dropped += 1
             return
         registry = obs.get_registry()
@@ -152,6 +172,58 @@ class Network:
     def set_up(self, node_id: int) -> None:
         """Mark a node recovered."""
         self._down.discard(node_id)
+
+    # ------------------------------------------------------------------
+    # Link state (partitions and asymmetric loss)
+    # ------------------------------------------------------------------
+    def set_link_down(self, a: int, b: int, symmetric: bool = True) -> None:
+        """Cut the ``a -> b`` link (and ``b -> a`` when symmetric)."""
+        self._blocked.add((a, b))
+        if symmetric:
+            self._blocked.add((b, a))
+
+    def set_link_up(self, a: int, b: int, symmetric: bool = True) -> None:
+        """Restore the ``a -> b`` link (and ``b -> a`` when symmetric)."""
+        self._blocked.discard((a, b))
+        if symmetric:
+            self._blocked.discard((b, a))
+
+    def link_up(self, a: int, b: int) -> bool:
+        """Whether the directed link ``a -> b`` is currently uncut."""
+        return (a, b) not in self._blocked
+
+    def can_reach(self, a: int, b: int) -> bool:
+        """Whether a message from ``a`` can currently arrive at ``b``.
+
+        True iff both endpoints are up and the directed link is uncut.
+        (The overlay is a full mesh — messages are never relayed through
+        intermediate nodes, so reachability is a single-link question.)
+        Flaky-link loss is probabilistic and deliberately *not* part of
+        this check: a lossy link is reachable, just unreliable.
+        """
+        return (self.is_up(a) and self.is_up(b)
+                and (a, b) not in self._blocked)
+
+    def set_link_loss(self, a: int, b: int, probability: float,
+                      symmetric: bool = False) -> None:
+        """Drop each ``a -> b`` message with ``probability``.
+
+        Asymmetric by default — real wide-area loss frequently is.  The
+        drop draws come from the simulator's ``"net.loss"`` RNG stream,
+        so runs stay deterministic; with no flaky links configured no
+        randomness is consumed at all.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("loss probability must lie in [0, 1]")
+        self._loss[(a, b)] = probability
+        if symmetric:
+            self._loss[(b, a)] = probability
+
+    def clear_link_loss(self, a: int, b: int, symmetric: bool = False) -> None:
+        """Make the ``a -> b`` link reliable again."""
+        self._loss.pop((a, b), None)
+        if symmetric:
+            self._loss.pop((b, a), None)
 
 
 class Node:

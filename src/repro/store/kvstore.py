@@ -37,7 +37,7 @@ from repro.core.controller import (
     EpochReport,
     ReplicationController,
 )
-from repro.core.migration import MigrationCostModel, MigrationPolicy
+from repro.core.migration import MigrationCostModel, MigrationPolicy, RetryPolicy
 from repro.net.bandwidth import BandwidthModel
 from repro.sim.node import Message, Network, Node
 from repro.sim.process import PeriodicProcess
@@ -158,8 +158,10 @@ class StorageServer(Node):
     def _on_summary(self, message: Message) -> None:
         # Summaries terminate at the coordinator; the controller already
         # consumed their content synchronously — this message exists so
-        # the control-plane traffic is charged to the network.
-        return
+        # the control-plane traffic is charged to the network.  Its
+        # arrival doubles as the delivery acknowledgement the retry
+        # machinery waits for.
+        self.store._summary_received(message.payload["unit"], message.sender)
 
     # ------------------------------------------------------------------
     def install(self, key: str, version: int) -> None:
@@ -338,6 +340,15 @@ class StorageClient(Node):
 
 
 @dataclass
+class _PendingShipment:
+    """Retry state of one in-flight transfer or summary shipment."""
+
+    attempts: int = 1
+    size_bytes: int = 0
+    timeout_event: object = None
+
+
+@dataclass
 class _PlacementUnit:
     """One independently placed replica set: an object or a group."""
 
@@ -350,6 +361,10 @@ class _PlacementUnit:
     latest: dict[str, int] = field(default_factory=dict)
     epoch_process: PeriodicProcess | None = None
     epoch_reports: list[EpochReport] = field(default_factory=list)
+    #: Retry bookkeeping (only populated when a RetryPolicy is set).
+    pending_transfers: dict[int, _PendingShipment] = field(default_factory=dict)
+    pending_summaries: dict[int, _PendingShipment] = field(default_factory=dict)
+    abandoned: set[int] = field(default_factory=set)
 
     @property
     def total_size_gb(self) -> float:
@@ -395,6 +410,13 @@ class ReplicatedStore:
         Enable the availability monitor: dead replicas are dropped from
         the read set, recovered durable replicas rejoin, and lost
         redundancy is re-replicated from surviving copies.
+    retry_policy:
+        Optional :class:`~repro.core.migration.RetryPolicy`.  When set,
+        migration transfers and summary shipments are retried on timeout
+        with exponential backoff + jitter (drawn from the simulator's
+        ``"retry-jitter"`` stream), and a migration whose transfer
+        exhausts the budget is rolled back without shedding replicas.
+        ``None`` (the default) preserves the fire-and-forget behaviour.
     """
 
     def __init__(self, sim: Simulator, matrix, candidates: Sequence[int],
@@ -404,7 +426,8 @@ class ReplicatedStore:
                  read_timeout_ms: float | None = None,
                  max_read_attempts: int = 3,
                  auto_repair: bool = False,
-                 repair_period_ms: float = 5_000.0) -> None:
+                 repair_period_ms: float = 5_000.0,
+                 retry_policy: RetryPolicy | None = None) -> None:
         if selection not in ("coords", "oracle"):
             raise ValueError("selection must be 'coords' or 'oracle'")
         if read_timeout_ms is not None and read_timeout_ms <= 0:
@@ -418,8 +441,14 @@ class ReplicatedStore:
         self.read_timeout_ms = read_timeout_ms
         self.max_read_attempts = max_read_attempts
         self.auto_repair = auto_repair
+        self.retry_policy = retry_policy
         self.failed_reads = 0
         self.repairs = 0
+        self.migration_retries = 0
+        self.migrations_abandoned = 0
+        self.migration_rollbacks = 0
+        self.summary_retries = 0
+        self.summaries_lost = 0
         self.candidates = tuple(int(c) for c in candidates)
         if len(set(self.candidates)) != len(self.candidates):
             raise ValueError("candidate node ids must be distinct")
@@ -697,31 +726,139 @@ class ReplicatedStore:
             pass
 
     # ------------------------------------------------------------------
+    # Coordinator election (failover protocol; see docs/chaos.md)
+    # ------------------------------------------------------------------
+    def current_coordinator(self, key: str) -> int:
+        """The node id that would coordinate ``key``'s next epoch.
+
+        Deterministic successor ranking: the default coordinator (the
+        first candidate) while it is viable, then the unit's replica
+        holders in sorted order, then the remaining candidates.  A
+        candidate is viable when it is up and at least one live replica
+        holder can ship summaries to it.  With every candidate down the
+        default coordinator is returned (the epoch then degrades to "no
+        reachable summaries").
+        """
+        unit = self._unit_of_key(key)
+        ranking = list(dict.fromkeys(
+            [self.coordinator] + sorted(unit.installed)
+            + list(self.candidates)))
+        live_holders = [s for s in sorted(unit.installed)
+                        if self.network.is_up(s)]
+        for site in ranking:
+            if not self.network.is_up(site):
+                continue
+            if site in live_holders or any(
+                    self.network.can_reach(h, site) for h in live_holders):
+                return site
+        return self.coordinator
+
+    # ------------------------------------------------------------------
     # Placement epochs and migration
     # ------------------------------------------------------------------
     def run_epoch(self, unit_key: str) -> EpochReport:
-        """Run one placement epoch for a unit (Algorithm 1 + policy)."""
+        """Run one placement epoch for a unit (Algorithm 1 + policy).
+
+        The epoch runs at the elected coordinator: only summaries from
+        replica sites that can currently reach it are pooled, and only
+        candidates it can reach are eligible migration targets — a
+        partition degrades the epoch instead of corrupting it.
+        """
         unit = self._unit_of_key(unit_key)
         registry = obs.get_registry()
         # Refresh candidate coordinates: with live gossip they drift.
         unit.controller.dc_coords = self.planar_coords()[list(self.candidates)]
+        coordinator = self.current_coordinator(unit_key)
+        _, lease = unit.controller.elect_coordinator(
+            [self.candidates.index(coordinator)])
+        reachable = [self.candidates.index(s) for s in sorted(unit.installed)
+                     if self.network.can_reach(s, coordinator)]
+        eligible = [p for p, site in enumerate(self.candidates)
+                    if self.network.can_reach(coordinator, site)
+                    and self.network.can_reach(site, coordinator)]
         with registry.phase("store.epoch"):
             report = unit.controller.run_epoch(
-                self.sim.rng(f"epoch-{unit.unit_key}"))
+                self.sim.rng(f"epoch-{unit.unit_key}"),
+                reachable=reachable, eligible=eligible, lease=lease)
         if registry.enabled:
             registry.counter("store.epochs").inc()
         unit.epoch_reports.append(report)
         # Charge the summary shipping to the network.
         if report.summary_bytes > 0:
+            shippers = (report.reachable_sites
+                        if report.reachable_sites is not None
+                        else report.previous_sites)
             per_site = max(
                 report.summary_bytes // max(len(report.previous_sites), 1), 1)
-            for position in report.previous_sites:
+            for position in shippers:
                 site = self.candidates[position]
-                if site != self.coordinator:
-                    self.servers[site].send(self.coordinator, "summary",
-                                            payload={"unit": unit.unit_key},
-                                            size_bytes=per_site)
+                if site != coordinator:
+                    self._ship_summary(unit, site, coordinator, per_site)
         return report
+
+    def _ship_summary(self, unit: _PlacementUnit, site: int,
+                      coordinator: int, size_bytes: int) -> None:
+        self.servers[site].send(coordinator, "summary",
+                                payload={"unit": unit.unit_key},
+                                size_bytes=size_bytes)
+        if self.retry_policy is None:
+            return
+        stale = unit.pending_summaries.pop(site, None)
+        if stale is not None and stale.timeout_event is not None:
+            stale.timeout_event.cancel()  # superseded by this epoch's copy
+        pending = _PendingShipment(size_bytes=size_bytes)
+        pending.timeout_event = self.sim.schedule(
+            self.retry_policy.timeout_ms, self._on_summary_timeout,
+            unit.unit_key, site, coordinator)
+        unit.pending_summaries[site] = pending
+
+    def _summary_received(self, unit_key: str, site: int) -> None:
+        unit = self._units.get(unit_key)
+        if unit is None:
+            return
+        pending = unit.pending_summaries.pop(site, None)
+        if pending is not None and pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+
+    def _on_summary_timeout(self, unit_key: str, site: int,
+                            coordinator: int) -> None:
+        unit = self._units.get(unit_key)
+        if unit is None:
+            return
+        pending = unit.pending_summaries.get(site)
+        if pending is None:
+            return
+        pending.timeout_event = None
+        registry = obs.get_registry()
+        if pending.attempts >= self.retry_policy.max_attempts:
+            del unit.pending_summaries[site]
+            self.summaries_lost += 1
+            if registry.enabled:
+                registry.counter("store.summaries_lost").inc()
+            return
+        self.summary_retries += 1
+        if registry.enabled:
+            registry.counter("store.summary_retries").inc()
+        backoff = self.retry_policy.backoff_ms(
+            pending.attempts, rng=self.sim.rng("retry-jitter"))
+        pending.attempts += 1
+        self.sim.schedule(backoff, self._resend_summary,
+                          unit_key, site, coordinator)
+
+    def _resend_summary(self, unit_key: str, site: int,
+                        coordinator: int) -> None:
+        unit = self._units.get(unit_key)
+        if unit is None:
+            return
+        pending = unit.pending_summaries.get(site)
+        if pending is None:
+            return  # acknowledged while the backoff ran
+        self.servers[site].send(coordinator, "summary",
+                                payload={"unit": unit_key},
+                                size_bytes=pending.size_bytes)
+        pending.timeout_event = self.sim.schedule(
+            self.retry_policy.timeout_ms, self._on_summary_timeout,
+            unit_key, site, coordinator)
 
     def _execute_migration(self, unit_key: str, old_positions: tuple[int, ...],
                            new_positions: tuple[int, ...]) -> None:
@@ -743,19 +880,86 @@ class ReplicatedStore:
             # Pure shrink (or reorder): retire immediately.
             self._finalize_migration(unit_key)
             return
-        sources = sorted(unit.installed)
         for target in sorted(unit.awaiting):
-            source = min(
-                sources,
-                key=lambda s: self.network.matrix.latency(s, target))
-            self.servers[source].send(
-                target, "replicate",
-                payload={"versions": unit.current_versions(self.servers[source]),
-                         "unit": unit_key, "reason": "migration"},
-                size_bytes=unit.total_size_bytes)
+            self._send_transfer(unit, target)
+            if self.retry_policy is not None:
+                pending = _PendingShipment(size_bytes=unit.total_size_bytes)
+                pending.timeout_event = self.sim.schedule(
+                    self.retry_policy.timeout_ms, self._on_transfer_timeout,
+                    unit_key, target)
+                unit.pending_transfers[target] = pending
+
+    def _send_transfer(self, unit: _PlacementUnit, target: int) -> None:
+        """Ship the unit from the closest live holder to ``target``.
+
+        Sources the target cannot be reached from are skipped when a
+        reachable one exists, so a retry after a partial heal picks a
+        working path; with none, the closest holder is used anyway and
+        the network drops the message (the timeout then fires).
+        """
+        sources = sorted(unit.installed)
+        usable = [s for s in sources if self.network.can_reach(s, target)]
+        source = min(usable or sources,
+                     key=lambda s: self.network.matrix.latency(s, target))
+        self.servers[source].send(
+            target, "replicate",
+            payload={"versions": unit.current_versions(self.servers[source]),
+                     "unit": unit.unit_key, "reason": "migration"},
+            size_bytes=unit.total_size_bytes)
+
+    def _on_transfer_timeout(self, unit_key: str, target: int) -> None:
+        unit = self._units.get(unit_key)
+        if unit is None or unit.target is None:
+            return
+        pending = unit.pending_transfers.get(target)
+        if pending is None:
+            return  # the transfer completed in the meantime
+        pending.timeout_event = None
+        registry = obs.get_registry()
+        if pending.attempts >= self.retry_policy.max_attempts:
+            # Budget exhausted: abandon this target.  The finalize step
+            # rolls the placement back onto surviving sites.
+            del unit.pending_transfers[target]
+            unit.abandoned.add(target)
+            unit.awaiting.discard(target)
+            self.migrations_abandoned += 1
+            if registry.enabled:
+                registry.counter("store.migrations.abandoned").inc()
+            if not unit.awaiting:
+                self._finalize_migration(unit_key)
+            return
+        self.migration_retries += 1
+        if registry.enabled:
+            registry.counter("store.migration_retries").inc()
+        backoff = self.retry_policy.backoff_ms(
+            pending.attempts, rng=self.sim.rng("retry-jitter"))
+        pending.attempts += 1
+        self.sim.schedule(backoff, self._retry_transfer, unit_key, target)
+
+    def _retry_transfer(self, unit_key: str, target: int) -> None:
+        unit = self._units.get(unit_key)
+        if unit is None or unit.target is None:
+            return
+        pending = unit.pending_transfers.get(target)
+        if pending is None:
+            return  # completed while the backoff ran
+        self._send_transfer(unit, target)
+        pending.timeout_event = self.sim.schedule(
+            self.retry_policy.timeout_ms, self._on_transfer_timeout,
+            unit_key, target)
 
     def _migration_transfer_done(self, unit_key: str, node_id: int) -> None:
         unit = self._unit(unit_key)
+        pending = unit.pending_transfers.pop(node_id, None)
+        if pending is not None and pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+        if node_id in unit.abandoned:
+            # A retried copy landed after the attempt budget ran out and
+            # the rollback already excluded this site; drop the replica
+            # rather than resurrect a half-abandoned migration.
+            for key in unit.members:
+                self.servers[node_id].drop(key)
+            return
         unit.awaiting.discard(node_id)
         # New replicas serve reads as soon as they are installed.
         unit.installed.add(node_id)
@@ -765,17 +969,43 @@ class ReplicatedStore:
     def _finalize_migration(self, unit_key: str) -> None:
         unit = self._unit(unit_key)
         assert unit.target is not None
-        for site in sorted(unit.installed - unit.target):
+        final = set(unit.target)
+        if unit.abandoned:
+            # Roll back: abandoned targets never installed, so retain
+            # the closest-numbered old sites instead — the degree of
+            # replication is preserved through a failed migration.
+            final -= unit.abandoned
+            for site in sorted(unit.installed - final):
+                if len(final) >= unit.controller.k:
+                    break
+                final.add(site)
+            self.migration_rollbacks += 1
+            registry = obs.get_registry()
+            if registry.enabled:
+                registry.counter("store.migration_rollbacks").inc()
+                obs.get_tracer().record(
+                    obs.MIGRATION_FINISH, time=self.sim.now, unit=unit_key,
+                    sites=sorted(final), rolled_back=True,
+                    abandoned=sorted(unit.abandoned))
+        for site in sorted(unit.installed - final):
             for key in unit.members:
                 self.servers[site].drop(key)
-        unit.installed = set(unit.target)
+        unit.installed = set(final)
+        rolled_back = bool(unit.abandoned)
         unit.target = None
+        unit.abandoned = set()
+        if rolled_back:
+            # The controller adopted the proposal optimistically when the
+            # verdict fired; re-align it with what actually happened.
+            unit.controller.sync_sites(
+                [self.candidates.index(s) for s in sorted(unit.installed)])
         registry = obs.get_registry()
         if registry.enabled:
             registry.counter("store.migrations.finished").inc()
-            obs.get_tracer().record(
-                obs.MIGRATION_FINISH, time=self.sim.now, unit=unit_key,
-                sites=sorted(unit.installed))
+            if not rolled_back:
+                obs.get_tracer().record(
+                    obs.MIGRATION_FINISH, time=self.sim.now, unit=unit_key,
+                    sites=sorted(unit.installed))
 
     # ------------------------------------------------------------------
     # Availability: failure handling and re-replication

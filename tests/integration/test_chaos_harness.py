@@ -1,0 +1,86 @@
+"""Acceptance tests for the chaos harness on the bundled scenarios.
+
+The headline acceptance criterion for the fault-tolerance work: a chaos
+run that crashes the coordinator mid-epoch completes with a successor
+coordinator elected, zero unhandled exceptions, and a final mean client
+latency within 10% of the failure-free baseline.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.chaos import chaos_summary_json, load_scenario, run_chaos
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "examples", "chaos")
+
+
+def bundled(name, **overrides):
+    scenario = load_scenario(os.path.join(EXAMPLES, f"{name}.toml"))
+    return dataclasses.replace(scenario, **overrides) if overrides \
+        else scenario
+
+
+class TestCoordinatorCrashAcceptance:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        # One run is enough for acceptance; the bundled file's two runs
+        # are for CLI exploration.
+        return run_chaos(bundled("coordinator_crash", runs=1))
+
+    def test_run_completes_with_successor_coordinator(self, summary):
+        faulty = summary["faulty"]
+        assert faulty["failovers"] > 0
+        assert faulty["crashes"] >= 1
+        # A successor actually coordinated: epochs kept running while
+        # the default coordinator was down.
+        assert faulty["epochs"] >= summary["baseline"]["epochs"] - 1
+
+    def test_workload_survives(self, summary):
+        faulty = summary["faulty"]
+        assert faulty["reads_issued"] > 0
+        assert faulty["completion_rate"] > 0.9
+        # The baseline run sees no faults at all.
+        assert summary["baseline"]["crashes"] == 0
+        assert summary["baseline"]["failovers"] == 0
+
+    def test_final_latency_within_ten_percent_of_baseline(self, summary):
+        assert summary["latency_ratio"] <= 1.10
+
+
+class TestOtherBundledScenarios:
+    def test_partition_degrades_epochs_without_bad_migrations(self):
+        summary = run_chaos(bundled("partition_60_40", runs=1))
+        faulty = summary["faulty"]
+        assert faulty["partitions"] == 1
+        assert faulty["epochs_degraded"] >= 1
+        assert faulty["completion_rate"] > 0.8
+        assert summary["latency_ratio"] <= 1.10
+
+    def test_single_dc_outage_repairs_and_recovers(self):
+        summary = run_chaos(bundled("single_dc_outage", runs=1))
+        faulty = summary["faulty"]
+        assert faulty["crashes"] == 1
+        # The crashed DC is the default coordinator's: a failover and
+        # either a repair or a migration must have kicked in.
+        assert faulty["failovers"] >= 1
+        assert faulty["repairs"] + faulty["migrations"] >= 1
+        assert summary["latency_ratio"] <= 1.10
+
+    def test_outage_run_ends_fully_replicated(self):
+        from repro.chaos import run_scenario
+        result = run_scenario(bundled("single_dc_outage", runs=1),
+                              run_index=0, faulty=True)
+        assert len(result.final_sites) >= 3
+
+
+class TestSummaryShape:
+    def test_summary_is_json_serializable_and_keyed(self):
+        summary = run_chaos(bundled("smoke", runs=1))
+        text = chaos_summary_json(summary)
+        assert text.endswith("}")
+        for key in ("scenario", "runs", "faults", "faulty", "baseline",
+                    "latency_ratio"):
+            assert f'"{key}"' in text

@@ -159,3 +159,42 @@ class TestKilledSweepResumes:
         # rest were recomputed.
         assert hits == finished_before_resume
         assert completed == total - hits
+
+
+class TestChaosGoldenDeterminism:
+    """The `repro chaos` summary is a golden artifact: byte-identical
+    JSON at any worker count, and again when resumed from a warm cache.
+    """
+
+    @pytest.fixture(scope="class")
+    def smoke(self):
+        import dataclasses
+
+        from repro.chaos import load_scenario
+
+        path = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples", "chaos", "smoke.toml")
+        # One run keeps the golden check fast; the runner still farms
+        # two cells (faulty + baseline) through the pool.
+        return dataclasses.replace(load_scenario(path), runs=1)
+
+    def test_summary_json_byte_identical_across_jobs(self, smoke):
+        from repro.chaos import chaos_summary_json, run_chaos
+
+        serial = chaos_summary_json(run_chaos(smoke, jobs=1))
+        parallel = chaos_summary_json(run_chaos(smoke, jobs=4))
+        assert parallel == serial
+
+    def test_summary_json_survives_cache_resume(self, smoke, tmp_path):
+        from repro.chaos import chaos_summary_json, run_chaos
+
+        cache_dir = str(tmp_path / "chaos-cache")
+        first = chaos_summary_json(
+            run_chaos(smoke, jobs=2, cache_dir=cache_dir))
+        with obs.observe() as (registry, _):
+            resumed = chaos_summary_json(
+                run_chaos(smoke, jobs=2, cache_dir=cache_dir, resume=True))
+        assert resumed == first
+        # Every cell was replayed from the cache, none recomputed.
+        assert registry.counter("runner.cache_hits").value == 2
+        assert registry.counter("runner.jobs_completed").value == 0

@@ -97,8 +97,11 @@ class EpochReport:
     its term; ``reachable_sites`` is the subset of replica sites whose
     summaries the coordinator could pool (``None`` = no restriction);
     ``degraded`` flags an epoch that ran without full visibility;
-    ``stale_summaries_dropped`` counts summaries discarded because
-    their site was unreachable when the epoch ran.
+    ``stale_summaries_dropped`` counts replica sites whose pending
+    summaries were discarded because the site was unreachable when the
+    epoch ran; ``rejected`` marks a stale-lease epoch that was fenced
+    off without running (its ``epoch`` repeats the last completed
+    epoch's number, since the counter never advanced).
     """
 
     epoch: int
@@ -115,6 +118,7 @@ class EpochReport:
     reachable_sites: tuple[int, ...] | None = None
     degraded: bool = False
     stale_summaries_dropped: int = 0
+    rejected: bool = False
 
     @property
     def migrated(self) -> bool:
@@ -303,7 +307,8 @@ class ReplicationController:
                 f"(current {self.lease})")
             return EpochReport(self.epoch, self.k, 0, self.sites, self.sites,
                                verdict, 0.0, 0.0, 0,
-                               coordinator=self.coordinator, lease=self.lease)
+                               coordinator=self.coordinator, lease=self.lease,
+                               rejected=True)
 
         rng = rng or np.random.default_rng(self.epoch)
         self.epoch += 1
@@ -320,12 +325,17 @@ class ReplicationController:
                     continue
                 # Unreachable this epoch: its summary covers a window the
                 # coordinator never saw end-to-end — discard rather than
-                # let it leak, stale, into a later epoch.
+                # let it leak, stale, into a later epoch.  Counted once
+                # per site, even when both a read and a write stream held
+                # data.
+                had_data = False
                 for summaries in (self._summaries, self._write_summaries):
                     summary = summaries[site]
                     if summary.accesses > 0:
-                        stale_dropped += 1
+                        had_data = True
                     summary.reset()
+                if had_data:
+                    stale_dropped += 1
             if registry.enabled and stale_dropped:
                 registry.counter(
                     "controller.stale_summaries_dropped").inc(stale_dropped)

@@ -161,7 +161,8 @@ class StorageServer(Node):
         # the control-plane traffic is charged to the network.  Its
         # arrival doubles as the delivery acknowledgement the retry
         # machinery waits for.
-        self.store._summary_received(message.payload["unit"], message.sender)
+        self.store._summary_received(message.payload["unit"], message.sender,
+                                     message.payload.get("shipment"))
 
     # ------------------------------------------------------------------
     def install(self, key: str, version: int) -> None:
@@ -346,6 +347,9 @@ class _PendingShipment:
     attempts: int = 1
     size_bytes: int = 0
     timeout_event: object = None
+    #: Matches acknowledgements to this shipment (summaries only): a
+    #: delayed copy from a superseded epoch must not ack a later one.
+    shipment_id: int = 0
 
 
 @dataclass
@@ -449,6 +453,7 @@ class ReplicatedStore:
         self.migration_rollbacks = 0
         self.summary_retries = 0
         self.summaries_lost = 0
+        self._shipment_ids = itertools.count(1)
         self.candidates = tuple(int(c) for c in candidates)
         if len(set(self.candidates)) != len(self.candidates):
             raise ValueError("candidate node ids must be distinct")
@@ -789,7 +794,7 @@ class ReplicatedStore:
                         if report.reachable_sites is not None
                         else report.previous_sites)
             per_site = max(
-                report.summary_bytes // max(len(report.previous_sites), 1), 1)
+                report.summary_bytes // max(len(shippers), 1), 1)
             for position in shippers:
                 site = self.candidates[position]
                 if site != coordinator:
@@ -798,26 +803,38 @@ class ReplicatedStore:
 
     def _ship_summary(self, unit: _PlacementUnit, site: int,
                       coordinator: int, size_bytes: int) -> None:
+        shipment = next(self._shipment_ids)
         self.servers[site].send(coordinator, "summary",
-                                payload={"unit": unit.unit_key},
+                                payload={"unit": unit.unit_key,
+                                         "shipment": shipment},
                                 size_bytes=size_bytes)
         if self.retry_policy is None:
             return
         stale = unit.pending_summaries.pop(site, None)
         if stale is not None and stale.timeout_event is not None:
             stale.timeout_event.cancel()  # superseded by this epoch's copy
-        pending = _PendingShipment(size_bytes=size_bytes)
+        pending = _PendingShipment(size_bytes=size_bytes,
+                                   shipment_id=shipment)
         pending.timeout_event = self.sim.schedule(
             self.retry_policy.timeout_ms, self._on_summary_timeout,
             unit.unit_key, site, coordinator)
         unit.pending_summaries[site] = pending
 
-    def _summary_received(self, unit_key: str, site: int) -> None:
+    def _summary_received(self, unit_key: str, site: int,
+                          shipment: int | None = None) -> None:
         unit = self._units.get(unit_key)
         if unit is None:
             return
-        pending = unit.pending_summaries.pop(site, None)
-        if pending is not None and pending.timeout_event is not None:
+        pending = unit.pending_summaries.get(site)
+        if pending is None:
+            return
+        if shipment is not None and shipment != pending.shipment_id:
+            # A delayed copy of an earlier, superseded shipment: the
+            # current epoch's summary is still in flight — leaving the
+            # pending entry armed keeps its loss observable.
+            return
+        del unit.pending_summaries[site]
+        if pending.timeout_event is not None:
             pending.timeout_event.cancel()
 
     def _on_summary_timeout(self, unit_key: str, site: int,
@@ -854,7 +871,8 @@ class ReplicatedStore:
         if pending is None:
             return  # acknowledged while the backoff ran
         self.servers[site].send(coordinator, "summary",
-                                payload={"unit": unit_key},
+                                payload={"unit": unit_key,
+                                         "shipment": pending.shipment_id},
                                 size_bytes=pending.size_bytes)
         pending.timeout_event = self.sim.schedule(
             self.retry_policy.timeout_ms, self._on_summary_timeout,
@@ -959,6 +977,17 @@ class ReplicatedStore:
             # rather than resurrect a half-abandoned migration.
             for key in unit.members:
                 self.servers[node_id].drop(key)
+            return
+        if unit.target is None or node_id not in unit.target:
+            # Straggler: a duplicate delivery (original + retry both got
+            # through) arriving after the migration finalized, or a copy
+            # addressed to a site no current migration targets.  The
+            # placement already settled without it — re-finalizing here
+            # would corrupt it, so keep the bytes only if the site ended
+            # up holding the unit anyway.
+            if node_id not in unit.installed:
+                for key in unit.members:
+                    self.servers[node_id].drop(key)
             return
         unit.awaiting.discard(node_id)
         # New replicas serve reads as soon as they are installed.

@@ -284,10 +284,15 @@ class TestLeaseFencing:
         report = c.run_epoch(np.random.default_rng(0), lease=1)
         assert "stale" in report.verdict.reason
         assert not report.migrated
+        # The rejection is flagged: its epoch number repeats the last
+        # completed epoch's (the counter never advanced), so ``rejected``
+        # is what tells the two reports apart.
+        assert report.rejected
         assert (c.epoch, c.sites) == before
         # The current lease holder still runs fine.
         report = c.run_epoch(np.random.default_rng(0), lease=2)
         assert "stale" not in report.verdict.reason
+        assert not report.rejected
 
 
 class TestDegradedEpochs:
@@ -303,6 +308,19 @@ class TestDegradedEpochs:
         # with full visibility sees nothing from it.
         follow_up = c.run_epoch(np.random.default_rng(0))
         assert follow_up.accesses == 0
+
+    def test_stale_drop_counts_sites_not_summary_objects(self):
+        # Write-aware mode keeps two summary streams per site; a site
+        # with both read and write data still counts once when dropped.
+        c = make_controller(write_aware=True)
+        feed(c, 0, [40.0, 40.0])
+        feed(c, 1, [-40.0, -40.0])
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            c.record_access(1, np.asarray([-40.0, -40.0])
+                            + rng.normal(size=2), kind="write")
+        report = c.run_epoch(np.random.default_rng(0), reachable=[0])
+        assert report.stale_summaries_dropped == 1
 
     def test_no_reachable_sites_is_a_noop_epoch(self):
         c = make_controller()
@@ -421,6 +439,49 @@ class TestSummaryRetry:
         assert store.summaries_lost == 1
         assert not store._units["obj"].pending_summaries
 
+    def test_stale_epoch_copy_does_not_ack_current_shipment(self):
+        # Epoch 1's summary is still in flight when epoch 2 supersedes
+        # it; epoch 2's copy is lost at send.  The late epoch-1 copy
+        # carries an older shipment id, so it must not cancel epoch 2's
+        # pending entry — the loss stays observable.
+        policy = RetryPolicy(timeout_ms=500.0, max_attempts=3,
+                             base_backoff_ms=100.0, jitter=0.0)
+        sim, store = build_store(retry_policy=policy)
+        store.create_object("obj", initial_sites=[1, 2],
+                            controller_config=ControllerConfig(
+                                k=2, max_micro_clusters=5))
+        coords = store.planar_coords()
+        store.controller("obj").record_access(1, coords[10])
+        store.run_epoch("obj")                   # epoch 1: copy in flight
+        store.network.set_link_loss(1, 0, 1.0)   # epoch 2 loses every copy
+        store.controller("obj").record_access(1, coords[10])
+        store.run_epoch("obj")
+        sim.run_until(60_000.0)
+        assert store.summaries_lost == 1
+        assert store.summary_retries == policy.max_attempts - 1
+        assert not store._units["obj"].pending_summaries
+
+    def test_summary_traffic_charge_matches_report_under_partition(self):
+        # Only the reachable holders ship, so the per-shipper charge
+        # divides by the shippers, not the full previous replica set.
+        sim, store = build_store()
+        store.create_object("obj", initial_sites=[1, 2],
+                            controller_config=ControllerConfig(
+                                k=2, max_micro_clusters=5))
+        coords = store.planar_coords()
+        store.controller("obj").record_access(1, coords[10])
+        store.controller("obj").record_access(2, coords[11])
+        FailureInjector(store.network).partition_now([2])
+        shipped = []
+        original = store._ship_summary
+        store._ship_summary = (
+            lambda unit, site, coordinator, size_bytes:
+            (shipped.append((site, size_bytes)),
+             original(unit, site, coordinator, size_bytes))[-1])
+        report = store.run_epoch("obj")
+        assert report.summary_bytes > 1
+        assert shipped == [(1, report.summary_bytes)]
+
     def test_flaky_summary_link_eventually_delivers(self):
         policy = RetryPolicy(timeout_ms=500.0, max_attempts=6,
                              base_backoff_ms=50.0, jitter=0.25)
@@ -489,6 +550,50 @@ class TestMigrationRetry:
         assert store.migration_retries >= 1
         assert store.migrations_abandoned == 0
         assert unit.installed == {0, 4}
+
+    def test_duplicate_delivery_after_finalize_is_harmless(self):
+        # Delivery slower than the timeout: the original and the retry
+        # both arrive.  The first finalizes the migration; the straggler
+        # must not re-finalize (it used to trip the finalize assertion).
+        sim, store = build_store()
+        store.create_object("obj", initial_sites=[0, 1],
+                            controller_config=ControllerConfig(
+                                k=2, max_micro_clusters=5))
+        unit = store._units["obj"]
+        lat = store.network.matrix.one_way
+        source = min((0, 1), key=lambda s: store.network.matrix.latency(s, 4))
+        delay = lat(source, 4)
+        assert delay > 1.0  # sanity: the timings below rely on it
+        store.retry_policy = RetryPolicy(
+            timeout_ms=0.4 * delay, max_attempts=3,
+            base_backoff_ms=0.25 * delay, jitter=0.0)
+        unit.controller.on_migrate((0, 1), (0, 4))
+        sim.run_until(60_000.0)
+        assert store.migration_retries == 1
+        assert store.migrations_abandoned == 0
+        assert unit.installed == {0, 4}
+        assert unit.target is None and not unit.pending_transfers
+        assert store.servers[4].holds_unit(unit)
+
+    def test_late_copy_after_rollback_does_not_resurrect_replica(self):
+        # The attempt budget runs out (and the migration rolls back)
+        # while the copies are still in flight; when they land, the
+        # abandoned target must stay empty instead of becoming an
+        # untracked replica (or re-finalizing a settled migration).
+        policy = RetryPolicy(timeout_ms=1.0, max_attempts=2,
+                             base_backoff_ms=1.0, jitter=0.0)
+        sim, store = build_store(retry_policy=policy)
+        store.create_object("obj", initial_sites=[0, 1],
+                            controller_config=ControllerConfig(
+                                k=2, max_micro_clusters=5))
+        unit = store._units["obj"]
+        unit.controller.on_migrate((0, 1), (0, 4))
+        sim.run_until(60_000.0)
+        assert store.migrations_abandoned == 1
+        assert store.migration_rollbacks == 1
+        assert unit.installed == {0, 1}
+        assert unit.target is None and not unit.awaiting
+        assert not store.servers[4].replicas
 
     def test_no_retry_policy_preserves_fire_and_forget(self):
         sim, store = build_store()

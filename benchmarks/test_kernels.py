@@ -1,0 +1,151 @@
+"""Numpy-vs-scalar kernel benchmarks at the paper's evaluation scale.
+
+Times every hot-path kernel on the full 226-node setting (k = 8
+replicas, m = 16 micro-clusters — the upper end of the paper's sweeps)
+under both backends, records the numbers in ``BENCH_kernels.json`` next
+to this module, and enforces the speedup floors:
+
+* weighted k-means and the two coordinate-distance kernels are
+  embarrassingly data-parallel and must each beat the scalar oracle
+  >= 3x, as must the full offline placement pipeline built from them;
+* micro-cluster stream absorption is *inherently sequential* (every
+  absorb/spawn/merge decision sees the clusters as the previous point
+  left them), so its vectorization win is structurally modest — the
+  floor only pins that the batched kernel never loses to the scalar
+  loop, and the mixed kernel aggregate clears a correspondingly lower
+  bar.  The honest per-kernel numbers land in the JSON either way.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.clustering.kmeans import weighted_kmeans
+from repro.clustering.stream import OnlineClusterer
+from repro.coords.space import EuclideanSpace
+from repro.kernels import wkmeans as wk
+from repro.placement.base import PlacementProblem
+from repro.placement.offline_kmeans import OfflineKMeansPlacement
+from repro.placement.online import OnlineClusteringPlacement
+
+from conftest import print_result
+
+BENCH_OUT = pathlib.Path(__file__).parent / "BENCH_kernels.json"
+
+K = 8                 # replicas (paper sweeps k up to 8 on 226 nodes)
+M = 16                # micro-cluster budget
+ACCESSES = 3          # accesses per client per epoch
+CANDIDATES = 20
+REPEATS = 5
+
+
+def _best(fn, repeats=REPEATS):
+    """Best-of-N wall-clock; the minimum is the least noisy estimator."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+@pytest.mark.bench
+def test_kernel_speedups(evaluation_world, capsys):
+    matrix, planar, heights = evaluation_world
+    candidates = tuple(range(CANDIDATES))
+    clients = tuple(range(CANDIDATES, matrix.n))
+    problem = PlacementProblem(matrix=matrix, candidates=candidates,
+                               clients=clients, k=K, coords=planar,
+                               heights=heights)
+    client_coords = planar[list(clients)]
+    stream = np.repeat(client_coords, ACCESSES, axis=0)
+
+    def time_backend(make):
+        return {b: _best(make(b)) for b in kernels.BACKENDS}
+
+    workloads = {
+        "weighted_kmeans": time_backend(lambda b: (
+            lambda: weighted_kmeans(client_coords, K,
+                                    rng=np.random.default_rng(0),
+                                    n_init=4, backend=b))),
+        "cf_absorb_stream": time_backend(lambda b: (
+            lambda: OnlineClusterer(M, backend=b).extend(stream))),
+        "pairwise_distances": time_backend(lambda b: (
+            lambda: wk.pairwise_distances(planar, heights=heights,
+                                          backend=b))),
+        "cross_distances": time_backend(lambda b: (
+            lambda: wk.cross_distances(
+                client_coords, planar[list(candidates)],
+                b_heights=heights[list(candidates)], backend=b))),
+        "placement_online_end_to_end": time_backend(lambda b: (
+            lambda: OnlineClusteringPlacement(
+                micro_clusters=M, migration_rounds=2,
+                backend=b).place(problem, np.random.default_rng(0)))),
+        "placement_offline_end_to_end": time_backend(lambda b: (
+            lambda: OfflineKMeansPlacement(backend=b).place(
+                problem, np.random.default_rng(0)))),
+    }
+    #: Kernels making up the aggregate "paper-scale workload" bar; the
+    #: end-to-end run is excluded because it also times shared
+    #: backend-independent work (RNG, problem bookkeeping).
+    kernel_keys = ("weighted_kmeans", "cf_absorb_stream",
+                   "pairwise_distances", "cross_distances")
+
+    # Distance-cache effect: a warm lookup against recomputing.
+    space = EuclideanSpace(dim=3, use_height=True)
+    full = np.column_stack([planar, heights])
+    space.pairwise_distances(full)  # warm the cache
+    cached_s = _best(lambda: space.pairwise_distances(full))
+    space.invalidate_cache()
+    cold_s = _best(lambda: (space.invalidate_cache(),
+                            space.pairwise_distances(full)))
+
+    speedups = {name: t["python"] / t["numpy"]
+                for name, t in workloads.items()}
+    agg_python = sum(workloads[k]["python"] for k in kernel_keys)
+    agg_numpy = sum(workloads[k]["numpy"] for k in kernel_keys)
+    aggregate = agg_python / agg_numpy
+
+    doc = {
+        "benchmark": "kernels",
+        "setting": {"n_nodes": matrix.n, "k": K, "micro_clusters": M,
+                    "accesses_per_client": ACCESSES,
+                    "stream_points": int(stream.shape[0]),
+                    "repeats": REPEATS},
+        "workloads": {
+            name: {"numpy_ms": round(t["numpy"] * 1e3, 3),
+                   "python_ms": round(t["python"] * 1e3, 3),
+                   "speedup": round(speedups[name], 2)}
+            for name, t in workloads.items()
+        },
+        "aggregate_kernel_speedup": round(aggregate, 2),
+        "distance_cache": {
+            "cold_ms": round(cold_s * 1e3, 3),
+            "warm_hit_ms": round(cached_s * 1e3, 3),
+            "hit_speedup": round(cold_s / cached_s, 2)
+            if cached_s else None,
+        },
+    }
+    BENCH_OUT.write_text(json.dumps(doc, indent=2) + "\n")
+    print_result(capsys, json.dumps(doc, indent=2))
+
+    # The paper-scale >= 3x bar: the data-parallel kernels individually
+    # and the full offline placement pipeline (k-means + candidate
+    # distances, the heaviest compute in the evaluation).
+    assert speedups["weighted_kmeans"] >= 3.0, doc
+    assert speedups["pairwise_distances"] >= 3.0, doc
+    assert speedups["cross_distances"] >= 3.0, doc
+    assert speedups["placement_offline_end_to_end"] >= 3.0, doc
+    # The mixed aggregate includes the sequential absorption kernel,
+    # whose win is structurally modest; its floor is correspondingly
+    # lower so scheduler noise cannot flake the nightly job.
+    assert aggregate >= 2.5, doc
+    # The sequential kernels only have to not lose to the scalar oracle.
+    assert speedups["cf_absorb_stream"] >= 1.0, doc
+    assert speedups["placement_online_end_to_end"] >= 1.0, doc
+    # A warm cache hit only copies; it must beat recomputation.
+    assert cached_s < cold_s, doc

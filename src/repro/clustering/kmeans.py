@@ -6,6 +6,17 @@ centroid, weighted by how many accesses (or bytes) it absorbed.  The
 implementation below is a standard Lloyd iteration over weighted points;
 with unit weights it degenerates to ordinary k-means, which is what the
 offline baseline uses.
+
+The numeric inner loops — the full point-by-centroid distance matrix,
+the assignment, and the centroid update — live in
+:mod:`repro.kernels.wkmeans` and run on either the vectorised ``numpy``
+backend or the scalar ``python`` reference backend (the ``backend``
+argument; ``None`` follows the process-wide :mod:`repro.kernels`
+switch).  Seeding, probability draws and convergence control stay on
+the shared ``numpy.random.Generator`` so both backends consume the same
+random stream; empty clusters reseed deterministically at the point
+with the largest assignment cost — never from hidden global RNG state —
+so a fixed seed gives a fixed answer on either backend.
 """
 
 from __future__ import annotations
@@ -15,6 +26,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.kernels import resolve_backend
+from repro.kernels import wkmeans as _wk
 
 __all__ = ["KMeansResult", "kmeans_pp_init", "weighted_kmeans"]
 
@@ -52,20 +65,18 @@ class KMeansResult:
         return np.bincount(self.labels, weights=weights, minlength=self.k)
 
 
-def _sq_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
-    """``(n, k)`` squared Euclidean distances."""
-    diff = points[:, None, :] - centers[None, :, :]
-    return np.einsum("nkd,nkd->nk", diff, diff)
-
-
 def kmeans_pp_init(points: np.ndarray, k: int, rng: np.random.Generator,
-                   weights: np.ndarray | None = None) -> np.ndarray:
+                   weights: np.ndarray | None = None,
+                   backend: str | None = None) -> np.ndarray:
     """Weighted k-means++ seeding.
 
     The first center is drawn proportionally to point weight; each later
     center proportionally to ``weight * D(x)^2`` where ``D(x)`` is the
-    distance to the closest already-chosen center.
+    distance to the closest already-chosen center.  The random draws
+    always come from ``rng`` — the backend only changes how ``D(x)`` is
+    computed — so both backends consume the identical random stream.
     """
+    backend = resolve_backend(backend)
     points = np.asarray(points, dtype=float)
     n = points.shape[0]
     if not 1 <= k <= n:
@@ -79,7 +90,7 @@ def kmeans_pp_init(points: np.ndarray, k: int, rng: np.random.Generator,
     first = rng.choice(n, p=probs)
     centers[0] = points[first]
 
-    closest_sq = _sq_distances(points, centers[:1])[:, 0]
+    closest_sq = _wk.sq_distances(points, centers[:1], backend=backend)[:, 0]
     for i in range(1, k):
         scores = weights * closest_sq
         total = scores.sum()
@@ -91,7 +102,8 @@ def kmeans_pp_init(points: np.ndarray, k: int, rng: np.random.Generator,
             idx = rng.choice(n, p=scores / total)
         centers[i] = points[idx]
         closest_sq = np.minimum(
-            closest_sq, _sq_distances(points, centers[i:i + 1])[:, 0]
+            closest_sq,
+            _wk.sq_distances(points, centers[i:i + 1], backend=backend)[:, 0],
         )
     return centers
 
@@ -100,7 +112,8 @@ def weighted_kmeans(points: np.ndarray, k: int,
                     weights: np.ndarray | None = None,
                     rng: np.random.Generator | None = None,
                     max_iter: int = 100, tol: float = 1e-6,
-                    n_init: int = 4) -> KMeansResult:
+                    n_init: int = 4,
+                    backend: str | None = None) -> KMeansResult:
     """Cluster weighted points into ``k`` groups.
 
     Parameters
@@ -115,6 +128,9 @@ def weighted_kmeans(points: np.ndarray, k: int,
         Per-point non-negative weights; ``None`` means unweighted.
     n_init:
         Independent seedings; the lowest-inertia run wins.
+    backend:
+        Kernel backend (``"python"`` or ``"numpy"``); ``None`` follows
+        the process-wide :mod:`repro.kernels` switch.
 
     Returns
     -------
@@ -128,6 +144,7 @@ def weighted_kmeans(points: np.ndarray, k: int,
     >>> sorted(float(round(c[0], 2)) for c in result.centroids)
     [0.05, 9.95]
     """
+    backend = resolve_backend(backend)
     points = np.atleast_2d(np.asarray(points, dtype=float))
     n = points.shape[0]
     if k < 1:
@@ -150,7 +167,7 @@ def weighted_kmeans(points: np.ndarray, k: int,
     best: KMeansResult | None = None
     with registry.phase("clustering.kmeans"):
         for _ in range(max(1, n_init)):
-            result = _lloyd(points, k, weights, rng, max_iter, tol)
+            result = _lloyd(points, k, weights, rng, max_iter, tol, backend)
             if best is None or result.inertia < best.inertia:
                 best = result
     assert best is not None
@@ -161,28 +178,20 @@ def weighted_kmeans(points: np.ndarray, k: int,
 
 
 def _lloyd(points: np.ndarray, k: int, weights: np.ndarray,
-           rng: np.random.Generator, max_iter: int, tol: float) -> KMeansResult:
-    centers = kmeans_pp_init(points, k, rng, weights)
+           rng: np.random.Generator, max_iter: int, tol: float,
+           backend: str) -> KMeansResult:
+    centers = kmeans_pp_init(points, k, rng, weights, backend=backend)
     labels = np.zeros(points.shape[0], dtype=int)
     inertia = np.inf
     iteration = 0
     for iteration in range(1, max_iter + 1):
-        sq = _sq_distances(points, centers)
-        labels = np.argmin(sq, axis=1)
-        new_inertia = float(np.sum(weights * sq[np.arange(len(labels)), labels]))
+        sq = _wk.sq_distances(points, centers, backend=backend)
+        labels = _wk.assign_labels(sq, backend=backend)
+        costs = _wk.assignment_costs(sq, labels, weights, backend=backend)
+        new_inertia = float(np.sum(costs))
 
-        new_centers = centers.copy()
-        for c in range(k):
-            mask = labels == c
-            mass = weights[mask].sum()
-            if mass > 0:
-                new_centers[c] = np.average(points[mask], axis=0,
-                                            weights=weights[mask])
-            else:
-                # Empty cluster: reseed at the point contributing the
-                # most weighted error.
-                contrib = weights * sq[np.arange(len(labels)), labels]
-                new_centers[c] = points[int(np.argmax(contrib))]
+        new_centers = _wk.update_centroids(points, labels, weights, centers,
+                                           costs, backend=backend)
 
         shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
         centers = new_centers
@@ -191,7 +200,8 @@ def _lloyd(points: np.ndarray, k: int, weights: np.ndarray,
             break
         inertia = new_inertia
 
-    sq = _sq_distances(points, centers)
-    labels = np.argmin(sq, axis=1)
-    inertia = float(np.sum(weights * sq[np.arange(len(labels)), labels]))
+    sq = _wk.sq_distances(points, centers, backend=backend)
+    labels = _wk.assign_labels(sq, backend=backend)
+    inertia = float(np.sum(
+        _wk.assignment_costs(sq, labels, weights, backend=backend)))
     return KMeansResult(centers, labels, inertia, iteration)

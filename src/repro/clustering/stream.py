@@ -16,19 +16,28 @@ vectors — exactly the properties the paper exploits.
 :class:`OnlineClusterer` maintains at most ``max_clusters`` CF vectors
 under the paper's rule: absorb a point into the nearest cluster when it
 falls within that cluster's standard deviation, otherwise spawn a new
-cluster and merge the two closest.
+cluster and merge the two closest.  The numeric work routes through
+:mod:`repro.kernels.cf`, so the same maintenance rule runs on either the
+vectorised ``numpy`` backend or the scalar ``python`` reference backend.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro import obs
+from repro.kernels import cf as _cf
+from repro.kernels import resolve_backend
 
 __all__ = ["ClusterFeature", "OnlineClusterer"]
+
+
+def _as_count(value: float) -> int | float:
+    """Counts stay ints while they are whole (decay makes them float)."""
+    return int(value) if float(value).is_integer() else float(value)
 
 
 @dataclass
@@ -36,7 +45,8 @@ class ClusterFeature:
     """Additive summary of a set of points (a micro-cluster).
 
     Build one with :meth:`from_point`; grow it with :meth:`absorb` and
-    :meth:`merge`.  All statistics are exact for the absorbed points.
+    :meth:`merge`; divide it with :meth:`split`.  All statistics are
+    exact for the absorbed points.
 
     Examples
     --------
@@ -81,7 +91,9 @@ class ClusterFeature:
         """RMS deviation of members around the centroid.
 
         Computed as ``sqrt(E[X^2] - E[X]^2)`` summed over dimensions —
-        the footnote-1 identity the paper uses.  Zero for singletons.
+        the footnote-1 identity the paper uses — clamped at zero where
+        float error makes the recovered variance dip negative.  Zero for
+        singletons.
         """
         mean = self.linear_sum / self.count
         var = self.square_sum / self.count - mean ** 2
@@ -107,6 +119,21 @@ class ClusterFeature:
         self.weight += other.weight
         self.linear_sum += other.linear_sum
         self.square_sum += other.square_sum
+
+    def split(self, backend: str | None = None
+              ) -> tuple["ClusterFeature", "ClusterFeature"]:
+        """Divide into two halves that merge back to this cluster.
+
+        The halves sit one recovered standard deviation apart; ``count``
+        and ``weight`` are conserved exactly, ``linear_sum`` to within
+        one ulp (see :func:`repro.kernels.cf.split_row`).  Deterministic;
+        requires ``count >= 2``.
+        """
+        (c1, w1, ls1, ss1), (c2, w2, ls2, ss2) = _cf.split_row(
+            self.count, self.weight, self.linear_sum, self.square_sum,
+            backend=backend)
+        return (ClusterFeature(_as_count(c1), w1, ls1, ss1),
+                ClusterFeature(_as_count(c2), w2, ls2, ss2))
 
     def copy(self) -> "ClusterFeature":
         """Deep copy (the arrays are duplicated)."""
@@ -139,15 +166,22 @@ class OnlineClusterer:
         would spawn (and immediately force a merge of) a cluster.  The
         floor gives young clusters a small catchment area; the ablation
         benchmark quantifies its effect.
+    backend:
+        Kernel backend (``"python"`` or ``"numpy"``); ``None`` follows
+        the process-wide :mod:`repro.kernels` switch at each call.
     """
 
-    def __init__(self, max_clusters: int, radius_floor: float = 5.0) -> None:
+    def __init__(self, max_clusters: int, radius_floor: float = 5.0,
+                 backend: str | None = None) -> None:
         if max_clusters < 1:
             raise ValueError("need at least one micro-cluster")
         if radius_floor < 0:
             raise ValueError("radius floor must be non-negative")
+        if backend is not None:
+            backend = resolve_backend(backend)
         self.max_clusters = max_clusters
         self.radius_floor = radius_floor
+        self.backend = backend
         self.clusters: list[ClusterFeature] = []
         self.points_seen = 0
         # Row-per-cluster centroid cache so the per-point nearest-cluster
@@ -176,6 +210,26 @@ class OnlineClusterer:
         """Total payload weight absorbed across all clusters."""
         return sum(c.weight for c in self.clusters)
 
+    def _nearest(self, point: np.ndarray) -> tuple[int, float]:
+        """Index of and squared distance to the nearest centroid."""
+        cache = self._centroid_cache
+        assert cache is not None
+        if resolve_backend(self.backend) == "numpy":
+            diff = cache - point[None, :]
+            sq = np.einsum("ij,ij->i", diff, diff)
+            nearest = int(np.argmin(sq))
+            return nearest, float(sq[nearest])
+        best, best_sq = 0, float("inf")
+        target = point.tolist()
+        for idx, row in enumerate(cache.tolist()):
+            acc = 0.0
+            for a, b in zip(row, target):
+                d = a - b
+                acc += d * d
+            if acc < best_sq:
+                best, best_sq = idx, acc
+        return best, best_sq
+
     def add(self, point: np.ndarray, weight: float = 1.0) -> None:
         """Process one stream point per the paper's maintenance rule."""
         point = np.asarray(point, dtype=float)
@@ -189,12 +243,9 @@ class OnlineClusterer:
                 obs.get_tracer().record(obs.MICRO_SPAWN, clusters=1)
             return
 
-        assert self._centroid_cache is not None
-        diff = self._centroid_cache - point[None, :]
-        sq = np.einsum("ij,ij->i", diff, diff)
-        nearest = int(np.argmin(sq))
+        nearest, sq = self._nearest(point)
         cluster = self.clusters[nearest]
-        distance = float(np.sqrt(sq[nearest]))
+        distance = float(np.sqrt(sq))
         radius = max(cluster.deviation, self.radius_floor)
         if distance <= radius:
             cluster.absorb(point, weight)
@@ -218,13 +269,7 @@ class OnlineClusterer:
         """Merge the two clusters with the closest centroids."""
         centroids = self._centroid_cache
         assert centroids is not None
-        # Squared pairwise distances via the Gram matrix (no (m, m, d)
-        # broadcast): ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b
-        sq_norms = np.einsum("ij,ij->i", centroids, centroids)
-        dist = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (centroids @ centroids.T)
-        np.fill_diagonal(dist, np.inf)
-        i, j = np.unravel_index(np.argmin(dist), dist.shape)
-        keep, drop = (int(i), int(j)) if i < j else (int(j), int(i))
+        keep, drop = _cf.closest_pair(centroids, backend=self.backend)
         self.clusters[keep].merge(self.clusters[drop])
         del self.clusters[drop]
         self._centroid_cache = np.delete(centroids, drop, axis=0)
@@ -254,10 +299,51 @@ class OnlineClusterer:
 
     def extend(self, points: Iterable[np.ndarray],
                weights: Iterable[float] | None = None) -> None:
-        """Feed many points; convenience for batch tests and benchmarks."""
+        """Feed many points through the batched absorption kernel.
+
+        Equivalent to calling :meth:`add` once per point, but the whole
+        block runs inside :func:`repro.kernels.cf.absorb_stream`, so the
+        per-point work never touches Python objects on the numpy
+        backend.  Spawn/absorb/merge events are counted in aggregate
+        (individual tracer spans are not emitted on this path).
+        """
+        block = [np.asarray(p, dtype=float) for p in points]
+        if not block:
+            return
+        point_array = np.stack(block)
         if weights is None:
-            for p in points:
-                self.add(p)
+            point_weights = np.ones(len(block))
         else:
-            for p, w in zip(points, weights):
-                self.add(p, w)
+            point_weights = np.asarray(list(weights), dtype=float)
+            if point_weights.shape != (len(block),):
+                raise ValueError(
+                    f"expected {len(block)} weights, "
+                    f"got shape {point_weights.shape}")
+        if np.any(point_weights < 0):
+            raise ValueError("weight must be non-negative")
+
+        m = len(self.clusters)
+        d = point_array.shape[1]
+        counts = np.array([c.count for c in self.clusters], dtype=float)
+        cl_weights = np.array([c.weight for c in self.clusters], dtype=float)
+        linear = (np.stack([c.linear_sum for c in self.clusters])
+                  if m else np.zeros((0, d)))
+        square = (np.stack([c.square_sum for c in self.clusters])
+                  if m else np.zeros((0, d)))
+
+        counts, cl_weights, linear, square, stats = _cf.absorb_stream(
+            counts, cl_weights, linear, square, point_array, point_weights,
+            self.radius_floor, self.max_clusters, backend=self.backend)
+
+        self.clusters = [
+            ClusterFeature(_as_count(c), float(w), ls, ss)
+            for c, w, ls, ss in zip(counts.tolist(), cl_weights.tolist(),
+                                    linear, square)
+        ]
+        self._rebuild_cache()
+        self.points_seen += len(block)
+        registry = obs.get_registry()
+        if registry.enabled:
+            for event, total in stats.items():
+                if total:
+                    registry.counter(f"clustering.micro.{event}").inc(total)

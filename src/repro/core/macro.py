@@ -18,6 +18,7 @@ import numpy as np
 from repro import obs
 from repro.clustering.kmeans import weighted_kmeans
 from repro.clustering.stream import ClusterFeature
+from repro.kernels import wkmeans as _wk
 
 __all__ = [
     "MacroCluster",
@@ -82,7 +83,8 @@ def _pseudo_points(micro_clusters: Sequence[ClusterFeature],
 
 def macro_cluster(micro_clusters: Sequence[ClusterFeature], k: int,
                   rng: np.random.Generator | None = None,
-                  use_bytes_weight: bool = False) -> list[MacroCluster]:
+                  use_bytes_weight: bool = False,
+                  backend: str | None = None) -> list[MacroCluster]:
     """Merge micro-clusters into ``k`` macro-clusters (Algorithm 1, line 2).
 
     Parameters
@@ -94,12 +96,16 @@ def macro_cluster(micro_clusters: Sequence[ClusterFeature], k: int,
     use_bytes_weight:
         Weight pseudo-points by bytes exchanged instead of access count
         (the paper mentions both; count is the default).
+    backend:
+        Kernel backend for the k-means maths; ``None`` follows the
+        process-wide :mod:`repro.kernels` switch.
     """
     if k < 1:
         raise ValueError("k must be positive")
     rng = rng or np.random.default_rng(0)
     points, weights = _pseudo_points(micro_clusters, use_bytes_weight)
-    result = weighted_kmeans(points, k, weights=weights, rng=rng)
+    result = weighted_kmeans(points, k, weights=weights, rng=rng,
+                             backend=backend)
 
     counts = np.array([c.count for c in micro_clusters], dtype=float)
     byte_weights = np.array([c.weight for c in micro_clusters], dtype=float)
@@ -133,7 +139,9 @@ def place_replicas(micro_clusters: Sequence[ClusterFeature], k: int,
                    use_bytes_weight: bool = False,
                    dc_heights: np.ndarray | None = None,
                    refine_swaps: bool = True,
-                   dc_capacities: np.ndarray | None = None) -> PlacementDecision:
+                   dc_capacities: np.ndarray | None = None,
+                   eligible: np.ndarray | None = None,
+                   backend: str | None = None) -> PlacementDecision:
     """Algorithm 1: choose ``k`` distinct data centers for the replicas.
 
     Parameters
@@ -175,6 +183,16 @@ def place_replicas(micro_clusters: Sequence[ClusterFeature], k: int,
         swaps are accepted only if the resulting per-site loads —
         every micro-cluster routed to its nearest chosen site — stay
         within capacity.
+    eligible:
+        Optional ``(n_dc,)`` boolean mask over the candidates.  An
+        ineligible candidate (partitioned away, failed, fenced off by a
+        chaos scenario) keeps its column in every distance matrix —
+        same shapes, same code path — but can never be chosen or
+        swapped in.  ``k`` is capped at the number of eligible
+        candidates.
+    backend:
+        Kernel backend for the distance/k-means maths; ``None`` follows
+        the process-wide :mod:`repro.kernels` switch.
 
     Notes
     -----
@@ -188,7 +206,8 @@ def place_replicas(micro_clusters: Sequence[ClusterFeature], k: int,
     with registry.phase("macro.place_replicas"):
         decision = _place_replicas(micro_clusters, k, dc_coords, rng,
                                    use_bytes_weight, dc_heights,
-                                   refine_swaps, dc_capacities)
+                                   refine_swaps, dc_capacities,
+                                   eligible, backend)
     if registry.enabled:
         registry.counter("macro.rounds").inc()
         obs.get_tracer().record(
@@ -204,7 +223,9 @@ def _place_replicas(micro_clusters: Sequence[ClusterFeature], k: int,
                     use_bytes_weight: bool,
                     dc_heights: np.ndarray | None,
                     refine_swaps: bool,
-                    dc_capacities: np.ndarray | None) -> PlacementDecision:
+                    dc_capacities: np.ndarray | None,
+                    eligible: np.ndarray | None = None,
+                    backend: str | None = None) -> PlacementDecision:
     dc_coords = np.atleast_2d(np.asarray(dc_coords, dtype=float))
     n_dc = dc_coords.shape[0]
     if n_dc == 0:
@@ -217,8 +238,17 @@ def _place_replicas(micro_clusters: Sequence[ClusterFeature], k: int,
             raise ValueError(f"expected {n_dc} capacities")
         if np.any(capacities <= 0):
             raise ValueError("capacities must be positive")
+    if eligible is not None:
+        eligible = np.asarray(eligible, dtype=bool)
+        if eligible.shape != (n_dc,):
+            raise ValueError(f"expected ({n_dc},) eligibility mask, "
+                             f"got {eligible.shape}")
+        if not eligible.any():
+            raise ValueError("no candidate data center is eligible")
+        k = min(k, int(eligible.sum()))
     k = min(k, n_dc)
-    macros = macro_cluster(micro_clusters, k, rng, use_bytes_weight)
+    macros = macro_cluster(micro_clusters, k, rng, use_bytes_weight,
+                           backend=backend)
 
     order = sorted(range(len(macros)),
                    key=lambda i: macros[i].count, reverse=True)
@@ -228,9 +258,11 @@ def _place_replicas(micro_clusters: Sequence[ClusterFeature], k: int,
     remaining = capacities.copy() if capacities is not None else None
     for idx in order:
         macro = macros[idx]
-        dists = np.linalg.norm(dc_coords - macro.centroid[None, :], axis=1)
-        dists = dists + heights
+        dists = _wk.cross_distances(macro.centroid[None, :], dc_coords,
+                                    b_heights=heights, backend=backend)[0]
         dists[used] = np.inf
+        if eligible is not None:
+            dists[~eligible] = np.inf
         if remaining is not None:
             # Nearest candidate that can absorb this population; if none
             # fits, the roomiest one takes the overload.
@@ -239,7 +271,8 @@ def _place_replicas(micro_clusters: Sequence[ClusterFeature], k: int,
             if np.isfinite(feasible).any():
                 site = int(np.argmin(feasible))
             else:
-                unused_room = np.where(used, -np.inf, remaining)
+                blocked = used if eligible is None else (used | ~eligible)
+                unused_room = np.where(blocked, -np.inf, remaining)
                 site = int(np.argmax(unused_room))
             remaining[site] -= macro.count
         else:
@@ -253,8 +286,11 @@ def _place_replicas(micro_clusters: Sequence[ClusterFeature], k: int,
     # heaviest macro-cluster so the degree of replication is honoured.
     while len(chosen) < k:
         anchor = ordered_macros[0].centroid
-        dists = np.linalg.norm(dc_coords - anchor[None, :], axis=1) + heights
+        dists = _wk.cross_distances(anchor[None, :], dc_coords,
+                                    b_heights=heights, backend=backend)[0]
         dists[used] = np.inf
+        if eligible is not None:
+            dists[~eligible] = np.inf
         site = int(np.argmin(dists))
         used[site] = True
         chosen.append(site)
@@ -262,11 +298,13 @@ def _place_replicas(micro_clusters: Sequence[ClusterFeature], k: int,
     if refine_swaps:
         chosen = _refine_by_swaps(micro_clusters, chosen, dc_coords, heights,
                                   capacities=capacities,
-                                  use_bytes_weight=use_bytes_weight)
+                                  use_bytes_weight=use_bytes_weight,
+                                  eligible=eligible, backend=backend)
 
     picks = np.array(chosen)
     predicted = estimate_average_delay(micro_clusters, dc_coords[picks],
-                                       replica_heights=heights[picks])
+                                       replica_heights=heights[picks],
+                                       backend=backend)
     return PlacementDecision(tuple(chosen), tuple(ordered_macros), predicted)
 
 
@@ -274,7 +312,9 @@ def _refine_by_swaps(micro_clusters: Sequence[ClusterFeature],
                      chosen: list[int], dc_coords: np.ndarray,
                      heights: np.ndarray, max_rounds: int = 8,
                      capacities: np.ndarray | None = None,
-                     use_bytes_weight: bool = False) -> list[int]:
+                     use_bytes_weight: bool = False,
+                     eligible: np.ndarray | None = None,
+                     backend: str | None = None) -> list[int]:
     """Greedy site swaps that improve the summary-estimated delay.
 
     Works entirely on the micro-cluster summaries (centroids weighted by
@@ -296,9 +336,8 @@ def _refine_by_swaps(micro_clusters: Sequence[ClusterFeature],
         mass = counts
     weights = mass / mass.sum()
     # (micro-cluster, candidate) predicted serving cost.
-    cost = np.linalg.norm(
-        centroids[:, None, :] - dc_coords[None, :, :], axis=-1
-    ) + heights[None, :]
+    cost = _wk.cross_distances(centroids, dc_coords, b_heights=heights,
+                               backend=backend)
 
     chosen = list(chosen)
     n_dc = dc_coords.shape[0]
@@ -323,6 +362,8 @@ def _refine_by_swaps(micro_clusters: Sequence[ClusterFeature],
             for candidate in range(n_dc):
                 if candidate in in_use:
                     continue
+                if eligible is not None and not eligible[candidate]:
+                    continue
                 trial = chosen.copy()
                 trial[i] = candidate
                 trial_overload = overload(trial)
@@ -342,7 +383,8 @@ def _refine_by_swaps(micro_clusters: Sequence[ClusterFeature],
 
 def estimate_average_delay(micro_clusters: Sequence[ClusterFeature],
                            replica_coords: np.ndarray,
-                           replica_heights: np.ndarray | None = None) -> float:
+                           replica_heights: np.ndarray | None = None,
+                           backend: str | None = None) -> float:
     """Predicted mean access delay of a placement, from summaries alone.
 
     Each micro-cluster contributes ``count`` accesses at its centroid;
@@ -360,7 +402,6 @@ def estimate_average_delay(micro_clusters: Sequence[ClusterFeature],
     counts = np.array([c.count for c in micro_clusters], dtype=float)
     if counts.sum() <= 0:
         counts = np.ones(len(micro_clusters))
-    dists = (np.linalg.norm(
-        centroids[:, None, :] - replica_coords[None, :, :], axis=-1
-    ) + heights[None, :]).min(axis=1)
+    dists = _wk.cross_distances(centroids, replica_coords, b_heights=heights,
+                                backend=backend).min(axis=1)
     return float(np.average(dists, weights=counts))

@@ -33,13 +33,19 @@ class ReplicaAccessSummary:
         the paper's plain accumulate-then-reset behaviour; smaller values
         let a long-lived summary track shifting populations, which the
         controller uses between placement epochs.
+    backend:
+        Kernel backend for the micro-cluster maths (``"python"`` or
+        ``"numpy"``); ``None`` follows the process-wide
+        :mod:`repro.kernels` switch.
     """
 
     def __init__(self, max_micro_clusters: int = 100,
-                 radius_floor: float = 5.0, decay: float = 1.0) -> None:
+                 radius_floor: float = 5.0, decay: float = 1.0,
+                 backend: str | None = None) -> None:
         if not 0.0 < decay <= 1.0:
             raise ValueError("decay must lie in (0, 1]")
-        self._clusterer = OnlineClusterer(max_micro_clusters, radius_floor)
+        self._clusterer = OnlineClusterer(max_micro_clusters, radius_floor,
+                                          backend=backend)
         self.decay = decay
         self.accesses = 0
         self.bytes_served = 0.0
@@ -62,6 +68,33 @@ class ReplicaAccessSummary:
                             weight=bytes_exchanged)
         self.accesses += 1
         self.bytes_served += bytes_exchanged
+
+    def record_batch(self, client_coords: np.ndarray,
+                     bytes_exchanged: np.ndarray | None = None) -> None:
+        """Fold a whole block of accesses into the summary at once.
+
+        Equivalent to calling :meth:`record_access` per row of
+        ``client_coords`` (in order), but the maintenance rule runs
+        inside the batched :func:`repro.kernels.cf.absorb_stream`
+        kernel.  ``bytes_exchanged`` is a per-row weight vector; ``None``
+        means one unit per access.
+        """
+        points = np.atleast_2d(np.asarray(client_coords, dtype=float))
+        n = points.shape[0]
+        if n == 0:
+            return
+        if bytes_exchanged is None:
+            weights = np.ones(n)
+        else:
+            weights = np.asarray(bytes_exchanged, dtype=float)
+            if weights.shape != (n,):
+                raise ValueError(f"expected {n} byte counts, "
+                                 f"got shape {weights.shape}")
+            if np.any(weights < 0):
+                raise ValueError("bytes exchanged must be non-negative")
+        self._clusterer.extend(points, weights)
+        self.accesses += n
+        self.bytes_served += float(weights.sum())
 
     def age(self) -> None:
         """Apply one step of exponential decay to the retained statistics.

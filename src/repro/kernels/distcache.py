@@ -1,0 +1,96 @@
+"""Memoized pairwise/cross distance matrices over coordinate space.
+
+Candidate ranking, migration-gain prediction and the accuracy metrics
+all keep asking for distance matrices over the *same* coordinate
+arrays.  :class:`PairwiseDistanceCache` memoizes those matrices keyed by
+the array *contents* (a digest of the raw bytes), so an in-place
+coordinate update can never serve a stale matrix — the key changes with
+the bytes.  Explicit :meth:`invalidate` exists for coordinate
+refinement: a Vivaldi/RNP round moves every node, so each round's
+matrices would otherwise pile up as dead entries until FIFO eviction
+got to them.
+
+Cache hits return a defensive copy — callers are free to scribble on
+the result (mask columns with ``inf``, zero diagonals, …) without
+poisoning the memo.  Hit/miss counts flow into the
+``kernels.distcache.*`` counters of the active metrics registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+
+__all__ = ["PairwiseDistanceCache"]
+
+
+def _digest(*arrays: np.ndarray) -> bytes:
+    h = hashlib.sha1()
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr, dtype=float)
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.digest()
+
+
+class PairwiseDistanceCache:
+    """A small FIFO memo for distance matrices.
+
+    Parameters
+    ----------
+    maxsize:
+        Entries retained; the oldest is evicted first.  The working set
+        of one experiment is a handful of coordinate arrays (all nodes,
+        candidates, clients), so a small cache captures nearly all the
+        reuse.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError("cache needs at least one slot")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        #: Bumped by :meth:`invalidate`; cheap staleness marker for
+        #: callers that want to key their own derived state off it.
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key_arrays: tuple[np.ndarray, ...],
+               compute: Callable[[], np.ndarray]) -> np.ndarray:
+        """The memoized matrix for ``key_arrays``, computing on a miss."""
+        key = _digest(*key_arrays)
+        registry = obs.get_registry()
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if registry.enabled:
+                registry.counter("kernels.distcache.hits").inc()
+            return cached.copy()
+        self.misses += 1
+        if registry.enabled:
+            registry.counter("kernels.distcache.misses").inc()
+        with registry.phase("kernels.distcache.compute"):
+            value = compute()
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return value.copy()
+
+    def invalidate(self) -> None:
+        """Drop every entry (call after a coordinate-refinement round)."""
+        self._entries.clear()
+        self.version += 1
+
+    def __repr__(self) -> str:
+        return (f"PairwiseDistanceCache(entries={len(self._entries)}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -179,9 +179,14 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
         policy=MigrationPolicy(min_relative_gain=scenario.min_relative_gain,
                                min_absolute_gain_ms=0.5),
         epoch_period_ms=scenario.epoch_period_ms)
-    workload = AccessWorkload(store, ClientPopulation.uniform(clients),
-                              ["obj"],
-                              rate_per_second=scenario.rate_per_second)
+    if scenario.engine == "batched":
+        from repro.store.batched import BatchedAccessWorkload
+        workload_cls = BatchedAccessWorkload
+    else:
+        workload_cls = AccessWorkload
+    workload = workload_cls(store, ClientPopulation.uniform(clients),
+                            ["obj"],
+                            rate_per_second=scenario.rate_per_second)
 
     injector = FailureInjector(store.network)
     if faulty:

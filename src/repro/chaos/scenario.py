@@ -18,6 +18,7 @@ knobs and a schedule of faults::
     [workload]
     rate_per_second = 120.0
     duration_ms = 60_000.0
+    engine = "event"              # or "batched" (see docs/performance.md)
 
     [store]                       # resilience knobs (all optional)
     read_timeout_ms = 600.0
@@ -123,6 +124,7 @@ class ChaosScenario:
     rate_per_second: float = 120.0
     duration_ms: float = 60_000.0
     settle_ms: float = 5_000.0
+    engine: str = "event"
     # Store resilience knobs
     read_timeout_ms: float | None = 600.0
     max_read_attempts: int = 3
@@ -141,6 +143,9 @@ class ChaosScenario:
             raise ValueError("need 1 <= k <= n_dc")
         if self.duration_ms <= 0 or self.epoch_period_ms <= 0:
             raise ValueError("durations must be positive")
+        if self.engine not in ("event", "batched"):
+            raise ValueError(f"unknown engine {self.engine!r} "
+                             "(use 'event' or 'batched')")
         horizon = self.duration_ms + self.settle_ms
         for fault in self.faults:
             if fault.at >= horizon:

@@ -17,7 +17,11 @@ Common options: ``--nodes`` ``--runs`` ``--coord-system`` ``--seed``
 series next to the printed table; ``--metrics-out FILE`` switches on
 the :mod:`repro.obs` observability layer for the run and dumps its
 metrics registry (counters, histograms, phase timers) plus a trace
-summary as JSON (see ``docs/observability.md``).  Defaults reproduce
+summary as JSON (see ``docs/observability.md``); ``--profile`` wraps
+the command in :mod:`cProfile` and prints the hottest cumulative
+entries alongside the obs phase timers.  ``chaos`` additionally takes
+``--engine {event,batched}`` to override the scenario's data-plane
+engine (see ``docs/performance.md``).  Defaults reproduce
 the paper's full-size setting (226 nodes, 30 runs, RNP coordinates).
 
 Every experiment command executes through :mod:`repro.runner` and takes
@@ -53,10 +57,18 @@ from repro.net import PlanetLabParams, save_matrix, synthetic_planetlab_matrix
 __all__ = ["main", "build_parser"]
 
 
+#: Entries printed by ``--profile`` (cumulative-time order).
+_PROFILE_TOP_N = 25
+
+
 def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
                         help="enable observability and write the metrics "
                              "registry (and trace summary) as JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top "
+                             f"{_PROFILE_TOP_N} cumulative entries plus the "
+                             "obs phase timers after the command")
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -183,6 +195,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.chaos import (
         chaos_summary_json,
         format_chaos,
@@ -191,6 +205,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
 
     scenario = load_scenario(args.scenario)
+    if args.engine is not None and args.engine != scenario.engine:
+        scenario = replace(scenario, engine=args.engine)
     summary = run_chaos(scenario, **_runner_kwargs(args))
     print(format_chaos(summary))
     if args.out:
@@ -273,6 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "examples/chaos/ and docs/chaos.md")
     pz.add_argument("--out", default=None, metavar="FILE",
                     help="also write the summary as canonical JSON")
+    pz.add_argument("--engine", default=None, choices=("event", "batched"),
+                    help="override the scenario's data-plane engine "
+                         "(default: the scenario's [workload] engine)")
     _add_metrics_arg(pz)
     _add_runner_args(pz)
     pz.set_defaults(func=_cmd_chaos)
@@ -288,6 +307,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _profiled(func: Callable) -> Callable:
+    """Wrap a command in cProfile; print top cumulative entries after."""
+    def wrapped(args: argparse.Namespace) -> int:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        try:
+            return profiler.runcall(func, args)
+        finally:
+            print(f"\n--- cProfile: top {_PROFILE_TOP_N} by cumulative "
+                  "time ---")
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(_PROFILE_TOP_N)
+    return wrapped
+
+
+def _format_phase_timers(registry) -> str:
+    """The obs phase timers as a small table (for ``--profile``)."""
+    timers = registry.snapshot().get("phase_timers", {})
+    if not timers:
+        return "--- obs phase timers: none recorded ---"
+    lines = ["--- obs phase timers ---",
+             f"{'phase':<36} {'calls':>8} {'total s':>10} {'mean s':>10}"]
+    for name in sorted(timers):
+        timer = timers[name]
+        lines.append(f"{name:<36} {timer['calls']:>8} "
+                     f"{timer['total_seconds']:>10.3f} "
+                     f"{timer['mean_seconds']:>10.4f}")
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code.
 
@@ -295,18 +346,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     duration of the command and the resulting metrics registry (plus a
     trace summary) is written to ``FILE`` as JSON — even when the
     command itself fails, so a crashed run still leaves its telemetry.
+    ``--profile`` additionally wraps the command in :mod:`cProfile` and
+    prints the hottest cumulative entries next to the obs phase timers.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     metrics_out = getattr(args, "metrics_out", None)
-    if not metrics_out:
-        return args.func(args)
+    profile = getattr(args, "profile", False)
+    command = _profiled(args.func) if profile else args.func
+    if not metrics_out and not profile:
+        return command(args)
     with obs.observe() as (registry, tracer):
         try:
-            code = args.func(args)
+            code = command(args)
         finally:
-            metrics_to_json(registry, metrics_out, tracer=tracer)
-    print(f"wrote {metrics_out}")
+            if profile:
+                print(_format_phase_timers(registry))
+            if metrics_out:
+                metrics_to_json(registry, metrics_out, tracer=tracer)
+    if metrics_out:
+        print(f"wrote {metrics_out}")
     return code
 
 

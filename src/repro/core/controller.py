@@ -228,6 +228,28 @@ class ReplicationController:
             self._summaries[site].record_access(client_coords,
                                                 bytes_exchanged)
 
+    def record_batch(self, site: int, client_coords: np.ndarray,
+                     bytes_exchanged: np.ndarray | None = None,
+                     kind: str = "read") -> None:
+        """Report a whole block of accesses to the replica at ``site``.
+
+        Equivalent to calling :meth:`record_access` once per row of
+        ``client_coords`` (in order) with the matching entry of
+        ``bytes_exchanged`` — the rows must already be in fold order.
+        Raises the same :class:`KeyError` as the scalar path *before*
+        folding anything, so a retired site's batch is dropped whole.
+        """
+        if kind not in ("read", "write"):
+            raise ValueError("kind must be 'read' or 'write'")
+        if site not in self._summaries:
+            raise KeyError(f"site {site} does not hold a replica")
+        if kind == "write" and self.config.write_aware:
+            self._write_summaries[site].record_batch(client_coords,
+                                                     bytes_exchanged)
+        else:
+            self._summaries[site].record_batch(client_coords,
+                                               bytes_exchanged)
+
     @staticmethod
     def clustering_coords(coords: np.ndarray, space: EuclideanSpace) -> np.ndarray:
         """Planar part of raw coordinates, for clustering and placement.

@@ -2,48 +2,112 @@
 
 Events are ordered by ``(time, seq)``: two events scheduled for the same
 instant fire in scheduling order, which makes runs fully deterministic.
+
+``Event`` is a plain ``__slots__`` class rather than a dataclass: event
+creation, comparison and cancellation sit on the simulator's hottest
+path, and the frozen-dataclass ``object.__setattr__`` /
+``__getattribute__`` indirection costs real time per event.  Cancelled
+events become *tombstones* — they stay in the heap (removing an
+arbitrary heap entry is O(n)) but the queue counts them and compacts the
+heap once tombstones outnumber live events, so cancelling many timers
+cannot leak memory for the rest of the run.
+
+Inert events and barriers
+-------------------------
+An event may be scheduled *inert*: a promise by the scheduler that
+firing it mutates no state any batched data plane bakes its decisions on
+(clean read-request/reply deliveries and read retry timeouts qualify —
+their effects land in order-tolerant sinks).  When barrier tracking is
+enabled (it is off, and free, until a data plane attaches) the queue
+mirrors every non-inert event into a second heap so
+:meth:`EventQueue.next_barrier_time` can answer "when does the next
+state-changing event fire?" in O(1) amortized — that time is the bound
+up to which a data plane may process accesses in bulk.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+import math
 from typing import Any, Callable
 
 __all__ = ["Event", "EventQueue"]
 
+# Below this heap size compaction is pointless churn — a handful of
+# tombstones costs nothing and the filter+heapify would dominate.
+_COMPACT_MIN_SIZE = 64
 
-@dataclass(order=True, frozen=True)
+
 class Event:
     """A scheduled callback.
 
     Ordering compares ``time`` then ``seq``; the callback itself never
-    participates in comparisons.
+    participates in comparisons.  ``inert`` marks events whose firing
+    cannot change batched-engine-visible state (see module docstring).
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False, hash=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "inert",
+                 "_queue")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple = (),
+                 inert: bool = False) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.inert = inert
+        self._queue: EventQueue | None = None
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.time == other.time and self.seq == other.seq
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.seq))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        state += " inert" if self.inert else ""
+        return (f"Event(time={self.time!r}, seq={self.seq!r}, "
+                f"callback={self.callback!r}{state})")
 
     def fire(self) -> None:
         """Invoke the callback (no-op when cancelled)."""
-        if not object.__getattribute__(self, "cancelled"):
+        if not self.cancelled:
             self.callback(*self.args)
 
     def cancel(self) -> None:
         """Prevent the event from firing when popped."""
-        object.__setattr__(self, "cancelled", True)
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._note_cancelled()
 
 
 class EventQueue:
-    """A priority queue of :class:`Event` objects."""
+    """A priority queue of :class:`Event` objects.
+
+    Cancelled events that are still queued are tracked as tombstones;
+    when they outnumber the live events (and the heap is big enough for
+    it to matter) the queue rebuilds itself without them.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._tombstones = 0
+        self._track_barriers = False
+        self._barriers: list[Event] = []
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -51,20 +115,32 @@ class EventQueue:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
+    @property
+    def tombstones(self) -> int:
+        """Number of cancelled events still occupying heap slots."""
+        return self._tombstones
+
     def push(self, time: float, callback: Callable[..., Any],
-             args: tuple = ()) -> Event:
+             args: tuple = (), inert: bool = False) -> Event:
         """Schedule ``callback(*args)`` at simulated ``time``."""
         if time < 0:
             raise ValueError("event time must be non-negative")
-        event = Event(time, next(self._counter), callback, args)
+        event = Event(time, next(self._counter), callback, args, inert)
+        event._queue = self
         heapq.heappush(self._heap, event)
+        if self._track_barriers and not inert:
+            heapq.heappush(self._barriers, event)
         return event
 
     def pop(self) -> Event:
         """Remove and return the earliest event (cancelled ones included)."""
         if not self._heap:
             raise IndexError("pop from empty event queue")
-        return heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)
+        if event.cancelled and self._tombstones > 0:
+            self._tombstones -= 1
+        event._queue = None
+        return event
 
     def peek_time(self) -> float:
         """Time of the earliest event."""
@@ -72,6 +148,64 @@ class EventQueue:
             raise IndexError("peek on empty event queue")
         return self._heap[0].time
 
+    # ------------------------------------------------------------------
+    # Barrier tracking (batched data planes)
+    # ------------------------------------------------------------------
+    def enable_barrier_tracking(self) -> None:
+        """Start mirroring non-inert events into the barrier heap.
+
+        Idempotent.  Already-queued events are adopted, so enabling
+        mid-run is safe.  Tracking costs one extra heap push per
+        non-inert event; it stays disabled (zero cost) until a data
+        plane needs :meth:`next_barrier_time`.
+        """
+        if self._track_barriers:
+            return
+        self._track_barriers = True
+        self._barriers = [e for e in self._heap
+                          if not e.inert and not e.cancelled]
+        heapq.heapify(self._barriers)
+
+    def next_barrier_time(self) -> float:
+        """Time of the earliest live non-inert event (inf when none).
+
+        Stale entries — popped (fired) or cancelled events — are
+        discarded lazily from the top of the barrier heap.
+        """
+        if not self._track_barriers:
+            # Conservative fallback: every event is a potential barrier.
+            return self._heap[0].time if self._heap else math.inf
+        barriers = self._barriers
+        while barriers and (barriers[0].cancelled
+                            or barriers[0]._queue is not self):
+            heapq.heappop(barriers)
+        return barriers[0].time if barriers else math.inf
+
     def clear(self) -> None:
         """Drop all pending events."""
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._barriers.clear()
+        self._tombstones = 0
+
+    def compact(self) -> None:
+        """Rebuild the heap without tombstones (preserves event order)."""
+        if not self._tombstones:
+            return
+        for event in self._heap:
+            if event.cancelled:
+                event._queue = None
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+        if self._track_barriers:
+            self._barriers = [e for e in self._barriers
+                              if not e.cancelled and e._queue is self]
+            heapq.heapify(self._barriers)
+
+    def _note_cancelled(self) -> None:
+        self._tombstones += 1
+        if (len(self._heap) >= _COMPACT_MIN_SIZE
+                and self._tombstones * 2 > len(self._heap)):
+            self.compact()

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro import obs
 from repro.net.bandwidth import BandwidthModel
 from repro.net.latency import LatencyMatrix
@@ -132,7 +134,13 @@ class Network:
         if self.bandwidth is not None:
             rtt = self.matrix.latency(message.sender, message.recipient)
             delay += self.bandwidth.transfer_ms(rtt, message.size_bytes)
-        self.sim.schedule(delay, self._deliver, message)
+        # Read request/reply deliveries are *inert*: handling them only
+        # touches order-tolerant sinks (buffered summary folds, the
+        # time-sorted access log, integer counters), so they do not end
+        # a batched data plane's bulk window.  Write and control-plane
+        # deliveries mutate versions/placement and stay barriers.
+        self.sim.schedule(delay, self._deliver, message,
+                          inert=message.kind in ("read-req", "read-rep"))
 
     def _deliver(self, message: Message) -> None:
         node = self.nodes.get(message.recipient)
@@ -157,6 +165,72 @@ class Network:
     def rtt(self, a: int, b: int) -> float:
         """Ground-truth round-trip time between two nodes."""
         return self.matrix.latency(a, b)
+
+    def link_reliable(self, a: int, b: int) -> bool:
+        """Whether ``a -> b`` delivers deterministically, no RNG draws.
+
+        True iff the directed link is uncut *and* has no loss entry.  A
+        configured loss probability of 0.0 still consumes a
+        ``"net.loss"`` draw per message, so the batched engine must
+        treat such links as non-bulkable to keep RNG streams aligned.
+        """
+        link = (a, b)
+        return link not in self._blocked and link not in self._loss
+
+    # ------------------------------------------------------------------
+    # Bulk traffic accounting (batched data-plane engine)
+    # ------------------------------------------------------------------
+    def account_bulk_sends(self, kind: str, senders: np.ndarray,
+                           sizes: np.ndarray) -> None:
+        """Apply :meth:`send`-side accounting for a block of messages.
+
+        The caller guarantees every message would have left cleanly
+        (sender up, link uncut and loss-free).  Counter increments are
+        integer-valued, so folding a block at once matches the scalar
+        per-message path exactly.
+        """
+        count = senders.size
+        if count == 0:
+            return
+        total = int(sizes.sum())
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("net.messages_sent").inc(count)
+            registry.counter("net.bytes_sent").inc(total)
+        self.stats.messages_sent += count
+        self.stats.bytes_sent += total
+        self.per_kind_bytes[kind] = self.per_kind_bytes.get(kind, 0) + total
+        per_sender = np.bincount(senders, weights=sizes)
+        uniq, counts = np.unique(senders, return_counts=True)
+        for node, n in zip(uniq.tolist(), counts.tolist()):
+            stats = self.per_node[node]
+            stats.messages_sent += int(n)
+            stats.bytes_sent += int(per_sender[node])
+
+    def account_bulk_deliveries(self, recipients: np.ndarray,
+                                sizes: np.ndarray,
+                                delays: np.ndarray) -> None:
+        """Apply :meth:`_deliver`-side accounting for a message block.
+
+        ``delays`` must be the per-message ``arrival - sent_at`` values
+        the scalar path would observe.
+        """
+        count = recipients.size
+        if count == 0:
+            return
+        total = int(sizes.sum())
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("net.messages_delivered").inc(count)
+            registry.histogram("net.delivery_delay_ms").observe_many(delays)
+        self.stats.messages_received += count
+        self.stats.bytes_received += total
+        per_recipient = np.bincount(recipients, weights=sizes)
+        uniq, counts = np.unique(recipients, return_counts=True)
+        for node, n in zip(uniq.tolist(), counts.tolist()):
+            stats = self.per_node[node]
+            stats.messages_received += int(n)
+            stats.bytes_received += int(per_recipient[node])
 
     # ------------------------------------------------------------------
     # Liveness (driven by repro.sim.failures.FailureInjector)

@@ -40,6 +40,7 @@ class Simulator:
         self._seed = seed
         self._rngs: dict[str, np.random.Generator] = {}
         self.events_processed = 0
+        self._data_planes: list[Any] = []
 
     # ------------------------------------------------------------------
     # Randomness
@@ -62,20 +63,48 @@ class Simulator:
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[..., Any],
-                 *args: Any) -> Event:
-        """Run ``callback(*args)`` after ``delay`` milliseconds."""
+                 *args: Any, inert: bool = False) -> Event:
+        """Run ``callback(*args)`` after ``delay`` milliseconds.
+
+        ``inert=True`` promises that firing the event mutates no state a
+        batched data plane bakes decisions on (see
+        :mod:`repro.sim.events`); such events do not end bulk windows.
+        """
         if delay < 0:
             raise ValueError("delay must be non-negative")
-        return self.queue.push(self.now + delay, callback, args)
+        return self.queue.push(self.now + delay, callback, args, inert)
 
     def schedule_at(self, time: float, callback: Callable[..., Any],
-                    *args: Any) -> Event:
+                    *args: Any, inert: bool = False) -> Event:
         """Run ``callback(*args)`` at absolute simulated ``time``."""
         if time < self.now:
             raise ValueError(
                 f"cannot schedule in the past ({time} < now={self.now})"
             )
-        return self.queue.push(time, callback, args)
+        return self.queue.push(time, callback, args, inert)
+
+    # ------------------------------------------------------------------
+    # Data planes (batched engines)
+    # ------------------------------------------------------------------
+    def attach_data_plane(self, plane: Any) -> None:
+        """Register a batched data plane with the event loop.
+
+        A data plane is anything with an ``advance(bound: float)`` method.
+        Before every event the loop calls ``advance`` with the next event
+        time (and once more with the horizon when the queue drains), so
+        the plane can generate and apply whole windows of data-plane work
+        in bulk between control-plane events.  ``advance`` must be
+        idempotent over already-covered time and may schedule new events
+        (escalations) at or after the current clock.
+        """
+        if plane not in self._data_planes:
+            self._data_planes.append(plane)
+            self.queue.enable_barrier_tracking()
+
+    def detach_data_plane(self, plane: Any) -> None:
+        """Unregister a previously attached data plane (no-op if absent)."""
+        if plane in self._data_planes:
+            self._data_planes.remove(plane)
 
     # ------------------------------------------------------------------
     # Execution
@@ -94,10 +123,17 @@ class Simulator:
         """Drain the queue (optionally bounded by ``max_events``)."""
         registry = obs.get_registry()
         count = 0
+        planes = self._data_planes
         with registry.phase("sim.run"):
             while self.queue:
                 if max_events is not None and count >= max_events:
                     break
+                if planes:
+                    bound = self.queue.peek_time()
+                    for plane in planes:
+                        plane.advance(bound)
+                    if not self.queue:  # pragma: no cover - defensive
+                        break
                 self.step()
                 count += 1
         if registry.enabled:
@@ -113,10 +149,41 @@ class Simulator:
             raise ValueError("cannot run backwards")
         registry = obs.get_registry()
         count = 0
+        planes = self._data_planes
+        queue = self.queue
         with registry.phase("sim.run"):
-            while self.queue and self.queue.peek_time() <= time:
-                self.step()
-                count += 1
+            if planes:
+                # Interleave bulk data-plane windows with control events.
+                # The window bound is the next *barrier* (non-inert
+                # event) — inert events (clean read chains) fire without
+                # ending the window because their effects land in
+                # order-tolerant sinks.  After advancing, fire the run
+                # of inert events plus at most one barrier, then
+                # recompute: the barrier (or an escalation the plane
+                # scheduled) may have changed state or added barriers.
+                while True:
+                    bound = min(queue.next_barrier_time(), time)
+                    for plane in planes:
+                        plane.advance(bound)
+                    if not (queue and queue.peek_time() <= time):
+                        break
+                    while queue and queue.peek_time() <= time:
+                        event = queue.pop()
+                        self.now = event.time
+                        inert = event.inert
+                        event.fire()
+                        self.events_processed += 1
+                        count += 1
+                        if not inert:
+                            break
+            else:
+                while queue and queue.peek_time() <= time:
+                    self.step()
+                    count += 1
         self.now = time
+        for plane in planes:
+            flush = getattr(plane, "flush", None)
+            if flush is not None:
+                flush()
         if registry.enabled:
             registry.counter("sim.events_processed").inc(count)

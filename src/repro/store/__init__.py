@@ -21,6 +21,7 @@ discrete-event simulator:
 from repro.store.objects import AccessRecord, DataObject, AccessLog
 from repro.store.kvstore import ReplicatedStore, StorageClient, StorageServer
 from repro.store.consistency import ConsistencyConfig, QuorumError
+from repro.store.batched import BatchedAccessEngine, BatchedAccessWorkload
 
 __all__ = [
     "AccessRecord",
@@ -31,4 +32,6 @@ __all__ = [
     "StorageServer",
     "ConsistencyConfig",
     "QuorumError",
+    "BatchedAccessEngine",
+    "BatchedAccessWorkload",
 ]

@@ -1,0 +1,409 @@
+"""Batched data-plane engine: vectorized client accesses, exact semantics.
+
+The reference path simulates every access as a chain of heap events:
+workload tick -> request send -> request delivery (summary fold) ->
+reply send -> reply delivery (log record).  At millions of accesses the
+heap churn dominates wall-clock time even though, between control-plane
+events, the outcome of each access is a pure function of frozen state.
+
+:class:`BatchedAccessEngine` exploits exactly that.  It registers with
+the simulator as a *data plane* (:meth:`Simulator.attach_data_plane`):
+the event loop asks it to ``advance(bound)`` where ``bound`` is the next
+*barrier* — the earliest non-inert event, i.e. the earliest instant
+anything can mutate routing, versions, liveness, coordinates or loss
+configuration.  Clean read chains are scheduled **inert** (see
+:mod:`repro.sim.events`): their effects land only in order-tolerant
+sinks — the lazily time-sorted :class:`~repro.store.objects.AccessLog`,
+the store's deferred summary-fold buffer (flushed in access-time order
+before every summary observation), and integer counters — so they fire
+*without* ending a bulk window.  That keeps windows control-plane-sized
+(epoch periods, chaos events) instead of event-sized, which is what
+makes batching pay off.
+
+Within a window the engine sorts each arrival into one of three buckets:
+
+``A`` — *fully bulk*.  Clean reads (client and all quorum targets up,
+    links uncut and loss-free, replicas installed) that complete
+    strictly before the window's cutoff and carry no timeout risk.
+    All their effects — traffic counters, delivery histograms, summary
+    folds (deferred), access-log records — are applied vectorized.
+``B`` — *hybrid*.  Clean-at-issue reads that outlive the window or may
+    time out.  Send-side accounting is bulk; request deliveries and the
+    retry timeout become real (inert) heap events via
+    :meth:`StorageClient.materialize_read`, so replies, retries and
+    timeouts run through the untouched per-event machinery and observe
+    any barrier-time state change for real.
+``C`` — *escalated*.  Writes; reads whose issue legs are not provably
+    clean (down nodes, cut or lossy links, missing replicas); and reads
+    issued at or after the window's **first write** (the write chain
+    bumps versions, so the staleness bound must be read live).  Each is
+    scheduled as a real ``client.read``/``client.write`` event at its
+    tick time — byte-identical behaviour including ``"net.loss"`` RNG
+    draws in heap order.  Writes are barriers; escalated reads are
+    inert.
+
+The window cutoff is ``min(bound, first write issue time)``: an A item's
+entire effect chain completes strictly before anything non-bulk can
+touch shared state, so state frozen at classification time is the state
+every A effect would have observed.
+
+Residual divergence is measure-zero tie-breaking (two floating-point
+event times colliding exactly) plus float summation order inside
+histogram *sum* fields; the differential test suite pins everything
+else bitwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.core.controller import ReplicationController
+from repro.sim.simulator import Simulator
+from repro.store.consistency import QuorumError
+from repro.store.kvstore import REQUEST_BYTES, ReplicatedStore
+from repro.store.objects import AccessRecord
+from repro.workloads.batched import ArrivalBatch, WorkloadArrivals
+from repro.workloads.population import ClientPopulation, ZipfObjectPopularity
+from repro.workloads.temporal import TemporalPattern
+
+__all__ = ["BatchedAccessEngine", "BatchedAccessWorkload"]
+
+
+class _GroupInfo(NamedTuple):
+    """Frozen routing/leg data for one (client, key) pair in a window."""
+
+    client: int
+    key: str
+    targets: tuple[int, ...]
+    d1: np.ndarray        # per-leg client -> server one-way delay
+    d2: np.ndarray        # per-leg server -> client one-way delay
+    versions: np.ndarray  # per-leg stored version
+    vmax: int             # max(versions): the read's returned version
+    latest: int           # latest committed version (staleness bound)
+    read_size: int
+    positions: tuple[int, ...]  # per-leg index into store.candidates
+    unit: object                # the owning _PlacementUnit (fold buffer)
+
+
+class BatchedAccessEngine:
+    """Vectorized access delivery attached to a simulator data plane.
+
+    Parameters
+    ----------
+    store:
+        The replicated store accesses are issued against.  Attaching
+        the engine switches the store to deferred summary folding
+        (:meth:`ReplicatedStore.enable_fold_buffering`).
+    source:
+        An arrival generator — :class:`WorkloadArrivals` for live
+        workloads, :class:`~repro.workloads.batched.TraceArrivals` for
+        trace replay.  Its ``keys`` tuple defines the key index space.
+    """
+
+    def __init__(self, store: ReplicatedStore, source) -> None:
+        self.store = store
+        self.source = source
+        self.sim: Simulator = store.sim
+        self.operations_issued = 0
+        self._attached = True
+        store.enable_fold_buffering()
+        store.sim.attach_data_plane(self)
+
+    def stop(self) -> None:
+        """Stop generating arrivals, flush folds, detach."""
+        self.source.stop()
+        if self._attached:
+            self.sim.detach_data_plane(self)
+            self._attached = False
+        self.store.flush_pending_accesses()
+
+    def flush(self) -> None:
+        """Apply deferred summary folds (called by the event loop when a
+        ``run_until`` horizon is reached, so post-run summary inspection
+        needs no manual step)."""
+        self.store.flush_pending_accesses()
+
+    # ------------------------------------------------------------------
+    def advance(self, bound: float) -> None:
+        """Process every arrival with ``time <= bound``.
+
+        Called by the simulator with the next barrier time; between
+        barriers no classification-relevant state changes, which is
+        what makes bulk delivery exact.
+        """
+        batch = self.source.generate_until(bound)
+        if batch.size == 0:
+            return
+        registry = obs.get_registry()
+        with registry.phase("sim.batched.advance"):
+            self._process(batch, float(bound))
+
+    # ------------------------------------------------------------------
+    def _process(self, batch: ArrivalBatch, bound: float) -> None:
+        store = self.store
+        sim = self.sim
+        net = store.network
+        keys = self.source.keys
+        nkeys = len(keys)
+        n = batch.size
+        self.operations_issued += n
+        t = batch.times
+        clients = batch.clients
+        key_idx = batch.key_idx
+        is_write = batch.is_write
+        timeout = store.read_timeout_ms
+
+        # Writes escalate; so does every read issued at or after the
+        # window's first write — its staleness bound and reply versions
+        # race the write chain and must be read live, in heap order.
+        # Reads issued before the first write are untouched: a write's
+        # earliest effect (its request delivery) lands strictly after
+        # its issue time, which caps the window cutoff below.
+        escalate = np.array(is_write, dtype=bool, copy=True)
+        cutoff = bound
+        if is_write.any():
+            first_write = float(t[is_write].min())
+            cutoff = min(bound, first_write)
+            escalate |= t >= first_write
+
+        # ---- group accesses by (client, key): route and leg delays are
+        # constant per pair within the window.
+        gid = clients * nkeys + key_idx
+        uniq, inverse, counts = np.unique(gid, return_inverse=True,
+                                          return_counts=True)
+        order = np.argsort(inverse, kind="stable")
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+
+        registry = obs.get_registry()
+        tracer = obs.get_tracer() if registry.enabled else None
+        log = store.log
+        planar = store.planar_coords()
+        req_senders: list[np.ndarray] = []
+        req_sizes: list[np.ndarray] = []
+        rep_senders: list[np.ndarray] = []
+        rep_sizes: list[np.ndarray] = []
+        deliver_recipients: list[np.ndarray] = []
+        deliver_sizes: list[np.ndarray] = []
+        deliver_delays: list[np.ndarray] = []
+        served = 0
+        delay_blocks: list[np.ndarray] = []
+
+        for g, gval in enumerate(uniq.tolist()):
+            idx = order[offsets[g]:offsets[g + 1]]
+            ridx = idx[~escalate[idx]]
+            if ridx.size == 0:
+                continue
+            info = self._group_info(int(gval) // nkeys, keys[gval % nkeys])
+            if info is None:
+                escalate[ridx] = True
+                continue
+            tg = t[ridx]
+            q = len(info.targets)
+            # Left-associated float sums, exactly as the event chain
+            # computes them: arrival = t + d1, completion = (t+d1) + d2.
+            arrivals = tg[:, None] + info.d1[None, :]
+            completions = arrivals + info.d2[None, :]
+            comp = completions.max(axis=1)
+            a_sel = comp < cutoff
+            if timeout is not None:
+                # A completion at or past the timeout means the timeout
+                # event (scheduled at issue, hence lower seq) fires
+                # first — the retry machinery must run for real.
+                a_sel &= comp < tg + timeout
+            b_ridx = ridx[~a_sel]
+            if b_ridx.size:
+                # Hybrid: bulk request-send accounting, real (inert)
+                # deliveries + timeout via the client hook.
+                req_senders.append(np.full(q * b_ridx.size, info.client))
+                req_sizes.append(np.full(q * b_ridx.size, REQUEST_BYTES))
+                client = store.clients[info.client]
+                leg_delays = info.d1.tolist()
+                for issued_at in t[b_ridx].tolist():
+                    client.materialize_read(info.key, issued_at,
+                                            info.targets, leg_delays)
+            if not a_sel.any():
+                continue
+            ta = tg[a_sel]
+            arr = arrivals[a_sel]
+            cmp_legs = completions[a_sel]
+            comp_a = comp[a_sel]
+            delays = comp_a - ta
+            m = ta.size
+            served += m
+            delay_blocks.append(delays)
+
+            # Freshest server: replies arrive in per-leg completion
+            # order (stable on leg index); the oracle keeps the first
+            # maximum-version reply.
+            if q == 1:
+                servers_a = itertools.repeat(info.targets[0], m)
+            else:
+                rank = np.argsort(cmp_legs, axis=1, kind="stable")
+                versions_ranked = info.versions[rank]
+                first_max = versions_ranked.argmax(axis=1)
+                legs = rank[np.arange(m), first_max]
+                servers_a = np.asarray(info.targets)[legs].tolist()
+            version = info.vmax
+            is_stale = info.vmax < info.latest
+            coords_row = planar[info.client]
+            client_ids = np.broadcast_to(info.client, (m,))
+            req_bytes = np.broadcast_to(REQUEST_BYTES, (m,))
+            rep_bytes = np.broadcast_to(info.read_size, (m,))
+            weights = np.broadcast_to(float(info.read_size), (m,))
+            coords_block = np.broadcast_to(coords_row, (m, coords_row.size))
+            fold_buffer = info.unit.fold_buffer
+            for j, server in enumerate(info.targets):
+                arr_j = arr[:, j]
+                # Deferred summary fold, stamped with the request
+                # arrival time (when the event path would fold it).
+                fold_buffer.append((arr_j, info.positions[j],
+                                    coords_block, weights, "read"))
+                # request leg: client -> server
+                req_senders.append(client_ids)
+                req_sizes.append(req_bytes)
+                deliver_recipients.append(np.broadcast_to(server, (m,)))
+                deliver_sizes.append(req_bytes)
+                deliver_delays.append(arr_j - ta)
+                # reply leg: server -> client
+                rep_senders.append(np.broadcast_to(server, (m,)))
+                rep_sizes.append(rep_bytes)
+                deliver_recipients.append(client_ids)
+                deliver_sizes.append(rep_bytes)
+                deliver_delays.append(cmp_legs[:, j] - arr_j)
+
+            # Access log: within a group completion times are monotone
+            # in issue time, so appends stay sorted; across groups the
+            # log re-sorts lazily.
+            key = info.key
+            client_id = info.client
+            rows = zip(comp_a.tolist(), delays.tolist(), servers_a)
+            if tracer is not None:
+                for when, dly, server in rows:
+                    tracer.record(obs.ACCESS_SERVED, time=when, op="read",
+                                  client=client_id, server=server, key=key,
+                                  delay_ms=dly)
+                    log.append(AccessRecord(
+                        time=when, client=client_id, server=server,
+                        key=key, delay_ms=dly, kind="read",
+                        version=version, stale=is_stale))
+            else:
+                for when, dly, server in rows:
+                    log.append(AccessRecord(
+                        time=when, client=client_id, server=server,
+                        key=key, delay_ms=dly, kind="read",
+                        version=version, stale=is_stale))
+
+        # ---- bulk traffic accounting (integer-valued, hence exact).
+        if req_senders:
+            net.account_bulk_sends("read-req", np.concatenate(req_senders),
+                                   np.concatenate(req_sizes))
+        if rep_senders:
+            net.account_bulk_sends("read-rep", np.concatenate(rep_senders),
+                                   np.concatenate(rep_sizes))
+        if deliver_recipients:
+            net.account_bulk_deliveries(np.concatenate(deliver_recipients),
+                                        np.concatenate(deliver_sizes),
+                                        np.concatenate(deliver_delays))
+        if served:
+            if registry.enabled:
+                registry.counter("accesses.served").inc(served)
+                registry.counter("store.reads").inc(served)
+                registry.histogram("access.delay_ms").observe_many(
+                    np.concatenate(delay_blocks))
+
+        # ---- escalated accesses replay through the per-event path.
+        # Writes are barriers (their chains mutate versions/placement);
+        # escalated reads stay inert.
+        cidx = np.flatnonzero(escalate)
+        for i in cidx.tolist():
+            client = store.clients[int(clients[i])]
+            if is_write[i]:
+                sim.schedule_at(float(t[i]), client.write, keys[key_idx[i]])
+            else:
+                sim.schedule_at(float(t[i]), client.read, keys[key_idx[i]],
+                                inert=True)
+
+    # ------------------------------------------------------------------
+    def _group_info(self, client: int, key: str) -> _GroupInfo | None:
+        """Routing and leg data for one (client, key), or ``None``.
+
+        ``None`` means the access cannot be proven clean — it escalates
+        to the per-event path, which then reproduces forwarding, drops,
+        loss draws and quorum errors byte-for-byte.
+        """
+        store = self.store
+        net = store.network
+        try:
+            targets = store.route_read(client, key)
+            obj = store.object(key)
+        except (QuorumError, KeyError):
+            return None
+        if not net.is_up(client):
+            return None
+        d1 = np.empty(len(targets))
+        d2 = np.empty(len(targets))
+        versions = np.empty(len(targets), dtype=int)
+        for j, server in enumerate(targets):
+            replicas = store.servers[server].replicas
+            if (key not in replicas or not net.is_up(server)
+                    or not net.link_reliable(client, server)
+                    or not net.link_reliable(server, client)):
+                return None
+            delay1 = net.matrix.one_way(client, server)
+            delay2 = net.matrix.one_way(server, client)
+            if net.bandwidth is not None:
+                delay1 += net.bandwidth.transfer_ms(
+                    net.matrix.latency(client, server), REQUEST_BYTES)
+                delay2 += net.bandwidth.transfer_ms(
+                    net.matrix.latency(server, client), obj.read_size_bytes)
+            d1[j] = delay1
+            d2[j] = delay2
+            versions[j] = replicas[key]
+        unit = store._unit_of_key(key)
+        return _GroupInfo(
+            client=client, key=key, targets=tuple(targets), d1=d1, d2=d2,
+            versions=versions, vmax=int(versions.max()),
+            latest=store.latest_version(key),
+            read_size=obj.read_size_bytes,
+            positions=tuple(store.candidates.index(s) for s in targets),
+            unit=unit)
+
+
+class BatchedAccessWorkload:
+    """Drop-in batched replacement for ``AccessWorkload``.
+
+    Same constructor signature and RNG stream, so a run driven by this
+    class produces the same accesses — and, via the engine, the same
+    placement decisions, log and metric totals — as the per-event
+    workload, at a fraction of the event count.
+    """
+
+    def __init__(self, store: ReplicatedStore, population: ClientPopulation,
+                 keys: Sequence[str], rate_per_second: float = 100.0,
+                 write_fraction: float = 0.0,
+                 pattern: TemporalPattern | None = None,
+                 popularity: ZipfObjectPopularity | None = None) -> None:
+        self.store = store
+        self.population = population
+        self.keys = tuple(keys)
+        for client in population.clients:
+            if client not in store.clients:
+                store.add_client(client)
+        self.source = WorkloadArrivals(
+            store.sim.rng("workload"), population, self.keys,
+            rate_per_second=rate_per_second, write_fraction=write_fraction,
+            pattern=pattern, popularity=popularity,
+            start_time=store.sim.now)
+        self.engine = BatchedAccessEngine(store, self.source)
+
+    @property
+    def operations_issued(self) -> int:
+        return self.engine.operations_issued
+
+    def stop(self) -> None:
+        """Stop issuing operations."""
+        self.engine.stop()

@@ -234,8 +234,43 @@ class StorageClient(Node):
                                "coords": coords, "client": self.node_id},
                       size_bytes=REQUEST_BYTES)
         if self.store.read_timeout_ms is not None:
+            # Inert: a retry only re-runs the (inert) read machinery or
+            # logs a failure — both land in order-tolerant sinks.
             pending.timeout_event = self.sim.schedule(
-                self.store.read_timeout_ms, self._on_read_timeout, request_id)
+                self.store.read_timeout_ms, self._on_read_timeout,
+                request_id, inert=True)
+
+    def materialize_read(self, key: str, issued_at: float,
+                         targets: Sequence[int],
+                         delays: Sequence[float]) -> int:
+        """Batched-engine hook: register an already-sent read.
+
+        The engine bulk-accounted the request legs as cleanly sent at
+        ``issued_at``; this schedules their deliveries (after the given
+        per-leg one-way ``delays``) and the retry timeout exactly as
+        :meth:`read` would have, so replies, retries and timeouts run
+        through the untouched per-event machinery.
+        """
+        request_id = next(self._request_ids)
+        pending = _PendingRead(
+            key=key, issued_at=issued_at, expected=len(targets),
+            latest_at_issue=self.store.latest_version(key))
+        self._pending_reads[request_id] = pending
+        pending.tried.update(targets)
+        coords = self.store.planar_coords_of(self.node_id)
+        for server, delay in zip(targets, delays):
+            self.sim.schedule_at(
+                issued_at + delay, self.network._deliver, Message(
+                    sender=self.node_id, recipient=server, kind="read-req",
+                    payload={"key": key, "request_id": request_id,
+                             "coords": coords, "client": self.node_id},
+                    size_bytes=REQUEST_BYTES, sent_at=issued_at),
+                inert=True)
+        if self.store.read_timeout_ms is not None:
+            pending.timeout_event = self.sim.schedule_at(
+                issued_at + self.store.read_timeout_ms,
+                self._on_read_timeout, request_id, inert=True)
+        return request_id
 
     def _on_read_timeout(self, request_id: int) -> None:
         pending = self._pending_reads.get(request_id)
@@ -369,6 +404,13 @@ class _PlacementUnit:
     pending_transfers: dict[int, _PendingShipment] = field(default_factory=dict)
     pending_summaries: dict[int, _PendingShipment] = field(default_factory=dict)
     abandoned: set[int] = field(default_factory=set)
+    #: Deferred summary folds (batched engine only): tuples of
+    #: ``(time(s), position, coords, weight(s), kind)`` where the first,
+    #: third and fourth fields may be scalars (one access, recorded by a
+    #: real event) or arrays (a bulk window).  Flushed — stably sorted
+    #: by access time, per position and summary stream — before any
+    #: summary observation or mutation.
+    fold_buffer: list = field(default_factory=list)
 
     @property
     def total_size_gb(self) -> float:
@@ -453,6 +495,7 @@ class ReplicatedStore:
         self.migration_rollbacks = 0
         self.summary_retries = 0
         self.summaries_lost = 0
+        self._fold_buffering = False
         self._shipment_ids = itertools.count(1)
         self.candidates = tuple(int(c) for c in candidates)
         if len(set(self.candidates)) != len(self.candidates):
@@ -623,6 +666,7 @@ class ReplicatedStore:
                     f"{unit_key!r} is a group member; delete the group "
                     f"{self._unit_of[unit_key]!r} instead")
             raise KeyError(f"unknown unit {unit_key!r}")
+        self._flush_folds(unit)  # folds predate the deletion
         if unit.epoch_process is not None:
             unit.epoch_process.stop()
         for site in sorted(unit.installed | unit.awaiting):
@@ -659,8 +703,15 @@ class ReplicatedStore:
         return list(self._unit_of_key(key).epoch_reports)
 
     def controller(self, key: str) -> ReplicationController:
-        """The placement controller of the unit owning ``key``."""
-        return self._unit_of_key(key).controller
+        """The placement controller of the unit owning ``key``.
+
+        Flushes any deferred summary folds first, so inspecting the
+        summaries after a batched run sees the same state eager folding
+        would have left.
+        """
+        unit = self._unit_of_key(key)
+        self._flush_folds(unit)
+        return unit.controller
 
     def _unit(self, unit_key: str) -> _PlacementUnit:
         unit = self._units.get(unit_key)
@@ -721,6 +772,14 @@ class ReplicatedStore:
                               kind: str = "read") -> None:
         unit = self._unit_of_key(key)
         position = self.candidates.index(server)
+        if self._fold_buffering:
+            # Batched engine attached: defer the fold.  The buffer is
+            # flushed in access-time order before any summary is
+            # observed or its site set changes, so the summaries any
+            # consumer sees are identical to eager folding.
+            unit.fold_buffer.append((self.sim.now, position, client_coords,
+                                     bytes_exchanged, kind))
+            return
         try:
             unit.controller.record_access(position, client_coords,
                                           bytes_exchanged, kind=kind)
@@ -729,6 +788,55 @@ class ReplicatedStore:
             # migration the controller already rolled over); its traffic
             # no longer informs placement.
             pass
+
+    def enable_fold_buffering(self) -> None:
+        """Defer summary folds into per-unit time-sorted buffers.
+
+        Called by the batched engine: bulk windows and straggler
+        per-event folds land in one buffer and are applied — stably
+        sorted by access time, grouped per site and summary stream —
+        right before anything observes or mutates the summaries.
+        Deferral is *exact*: micro-cluster maintenance depends only on
+        the fold order, which the sort reproduces (ties are broken by
+        buffer insertion order, i.e. event order for real events).
+        """
+        self._fold_buffering = True
+
+    def flush_pending_accesses(self) -> None:
+        """Apply every deferred summary fold (no-op when none pending)."""
+        for unit in self._units.values():
+            self._flush_folds(unit)
+
+    def _flush_folds(self, unit: _PlacementUnit) -> None:
+        buf = unit.fold_buffer
+        if not buf:
+            return
+        unit.fold_buffer = []
+        write_aware = unit.controller.config.write_aware
+        # (position, stream) -> [time parts, coords parts, weight parts];
+        # only write-aware controllers split streams by kind — otherwise
+        # reads and writes fold into the same summary and must stay in
+        # one merged time order.
+        groups: dict[tuple[int, str], tuple[list, list, list]] = {}
+        for when, position, coords, weights, kind in buf:
+            stream = kind if write_aware else "read"
+            parts = groups.setdefault((position, stream), ([], [], []))
+            parts[0].append(np.atleast_1d(np.asarray(when, dtype=float)))
+            parts[1].append(np.atleast_2d(np.asarray(coords, dtype=float)))
+            parts[2].append(np.atleast_1d(np.asarray(weights, dtype=float)))
+        for (position, stream), (tparts, cparts, wparts) in groups.items():
+            times = np.concatenate(tparts)
+            order = np.argsort(times, kind="stable")
+            coords = np.vstack(cparts)[order]
+            weights = np.concatenate(wparts)[order]
+            try:
+                unit.controller.record_batch(position, coords, weights,
+                                             kind=stream)
+            except KeyError:
+                # Same retired-replica tolerance as the eager path; the
+                # flush always runs before the summary site set changes,
+                # so eager and deferred folds hit the same set.
+                pass
 
     # ------------------------------------------------------------------
     # Coordinator election (failover protocol; see docs/chaos.md)
@@ -770,6 +878,7 @@ class ReplicatedStore:
         partition degrades the epoch instead of corrupting it.
         """
         unit = self._unit_of_key(unit_key)
+        self._flush_folds(unit)  # the epoch pools the summaries next
         registry = obs.get_registry()
         # Refresh candidate coordinates: with live gossip they drift.
         unit.controller.dc_coords = self.planar_coords()[list(self.candidates)]
@@ -997,6 +1106,7 @@ class ReplicatedStore:
 
     def _finalize_migration(self, unit_key: str) -> None:
         unit = self._unit(unit_key)
+        self._flush_folds(unit)  # a rollback re-keys the summaries
         assert unit.target is not None
         final = set(unit.target)
         if unit.abandoned:
@@ -1047,6 +1157,7 @@ class ReplicatedStore:
 
     def _check_unit_availability(self, unit_key: str) -> None:
         unit = self._unit(unit_key)
+        self._flush_folds(unit)  # sync_sites below re-keys the summaries
         if unit.target is not None:
             return  # a migration is in flight; let it settle first
         live = {s for s in unit.installed if self.network.is_up(s)}
@@ -1103,6 +1214,7 @@ class ReplicatedStore:
 
     def _repair_transfer_done(self, unit_key: str, node_id: int) -> None:
         unit = self._unit(unit_key)
+        self._flush_folds(unit)  # sync_sites below re-keys the summaries
         unit.awaiting.discard(node_id)
         if not self.network.is_up(node_id):
             return  # it crashed again while the transfer was in flight

@@ -64,16 +64,39 @@ class AccessRecord:
 
 
 class AccessLog:
-    """Collects :class:`AccessRecord` entries and summarizes them."""
+    """Collects :class:`AccessRecord` entries and summarizes them.
+
+    ``records`` is kept sorted by time *lazily*: the per-event store
+    appends in event order (non-decreasing times), which never triggers
+    a sort, while the batched engine appends whole completion-sorted
+    windows interleaved with straggler records from real events — the
+    first out-of-order append flags the log and the next read re-sorts
+    it (stably, so equal-time records keep insertion order).
+    """
 
     def __init__(self) -> None:
-        self.records: list[AccessRecord] = []
+        self._records: list[AccessRecord] = []
+        self._unsorted = False
+        self._last_time = float("-inf")
+
+    @property
+    def records(self) -> list[AccessRecord]:
+        if self._unsorted:
+            self._records.sort(key=lambda r: r.time)
+            self._unsorted = False
+            self._last_time = (self._records[-1].time if self._records
+                               else float("-inf"))
+        return self._records
 
     def append(self, record: AccessRecord) -> None:
-        self.records.append(record)
+        if record.time >= self._last_time:
+            self._last_time = record.time
+        else:
+            self._unsorted = True
+        self._records.append(record)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records)
 
     def delays(self, kind: str | None = None,
                since: float = 0.0) -> np.ndarray:

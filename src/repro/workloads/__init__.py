@@ -33,6 +33,11 @@ from repro.workloads.access import (
     replay_trace,
     save_trace,
 )
+from repro.workloads.batched import (
+    ArrivalBatch,
+    TraceArrivals,
+    WorkloadArrivals,
+)
 
 __all__ = [
     "ClientPopulation",
@@ -48,4 +53,7 @@ __all__ = [
     "load_trace",
     "replay_trace",
     "save_trace",
+    "ArrivalBatch",
+    "TraceArrivals",
+    "WorkloadArrivals",
 ]

@@ -86,6 +86,48 @@ class ClientPopulation:
             weights, total = self.weights, self.weights.sum()
         return self.clients[int(rng.choice(len(self.clients), p=weights / total))]
 
+    def sample_block(self, uniforms: np.ndarray,
+                     modulation: np.ndarray | None = None) -> np.ndarray:
+        """Vectorized :meth:`sample` over pre-drawn unit uniforms.
+
+        ``uniforms`` holds one ``rng.random()`` draw per access;
+        ``modulation`` is an optional ``(len(uniforms), len(self))``
+        matrix of per-access per-client multipliers.  Row ``i`` of the
+        result is the client id :meth:`sample` would return from the
+        same uniform draw and modulation row — including the
+        re-normalized CDF inversion ``Generator.choice`` performs and
+        the fall-back to base weights when a row is fully suppressed —
+        so the batched engine consumes the RNG stream identically.
+        """
+        u = np.asarray(uniforms, dtype=float)
+        n = len(self.clients)
+        if modulation is None:
+            # Every row shares one CDF; ``searchsorted(side="right")``
+            # on it returns the same count as ``(cdf <= u).sum()``.
+            cdf = (self.weights / self.weights.sum()).cumsum()
+            cdf /= cdf[-1]
+            idx = np.searchsorted(cdf, u, side="right")
+            return np.asarray(self.clients, dtype=int)[idx]
+        else:
+            modulation = np.asarray(modulation, dtype=float)
+            if modulation.shape != (u.size, n):
+                raise ValueError("one modulation factor per access "
+                                 "and client required")
+            weights = self.weights * modulation
+            totals = weights.sum(axis=1)
+            suppressed = totals <= 0
+            if suppressed.any():
+                weights = weights.copy()
+                weights[suppressed] = self.weights
+                totals[suppressed] = self.weights.sum()
+        # Generator.choice(n, p=p) draws one unit uniform and inverts
+        # the re-normalized CDF with searchsorted(..., side="right");
+        # (cdf <= u).sum() is the same count, batched.
+        cdf = (weights / totals[:, None]).cumsum(axis=1)
+        cdf /= cdf[:, -1:]
+        idx = (cdf <= u[:, None]).sum(axis=1)
+        return np.asarray(self.clients, dtype=int)[idx]
+
     def index_of(self, client: int) -> int:
         """Position of ``client`` in :attr:`clients`."""
         return self.clients.index(client)
@@ -112,6 +154,18 @@ class ZipfObjectPopularity:
     def sample(self, rng: np.random.Generator) -> str:
         """Draw one object key."""
         return self.keys[int(rng.choice(len(self.keys), p=self.probs))]
+
+    def sample_block(self, uniforms: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sample` over pre-drawn unit uniforms.
+
+        Entry ``i`` is the index into :attr:`keys` that :meth:`sample`
+        would pick from the same ``rng.random()`` draw (see
+        :meth:`ClientPopulation.sample_block` for the CDF equivalence).
+        """
+        u = np.asarray(uniforms, dtype=float)
+        cdf = self.probs.cumsum()
+        cdf /= cdf[-1]
+        return (cdf <= u[:, None]).sum(axis=1)
 
     def probability_of(self, key: str) -> float:
         """Selection probability of ``key``."""

@@ -1,0 +1,148 @@
+"""Differential suite: the batched data plane vs the per-event oracle.
+
+The batched engine's contract is *exact* equivalence, not statistical
+similarity: for the same seed it must leave every piece of observable
+simulation state bitwise identical to the per-event reference path —
+access-log records (times, servers, delays, versions, staleness),
+network byte/message accounting (global, per kind, per node), the
+controller's micro-cluster summaries (the placement inputs), the epoch
+reports and installed replica sets (the placement decisions), and the
+failure counters.  Only scheduler internals (``events_processed``) may
+differ, because not scheduling per-access events is the whole point.
+
+The tier-1 matrix covers five seeds of the paper's read-only setting,
+one seed with every extension armed at once (quorum reads, read
+timeouts, writes, multiple objects, short epochs) and the bundled chaos
+smoke scenario; the nightly ``slow`` matrix widens the per-feature
+coverage.
+"""
+
+import os
+from dataclasses import asdict, replace
+
+import numpy as np
+import pytest
+
+from repro.net import LatencyMatrix
+from repro.sim import Simulator
+from repro.store import BatchedAccessWorkload, ConsistencyConfig, ReplicatedStore
+from repro.workloads import AccessWorkload, ClientPopulation
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+N_NODES = 24
+N_DC = 8
+
+
+def _build(seed, engine, *, quorum=1, timeout=None, write_fraction=0.0,
+           n_keys=1, epoch_period_ms=None):
+    rng = np.random.default_rng(seed + 999)
+    coords = rng.normal(size=(N_NODES, 2)) * 40
+    rtt = np.sqrt(((coords[:, None, :] - coords[None, :, :]) ** 2).sum(-1))
+    rtt += 5.0
+    np.fill_diagonal(rtt, 0.0)
+    matrix = LatencyMatrix((rtt + rtt.T) / 2)
+    sim = Simulator(seed=seed)
+    store = ReplicatedStore(
+        sim, matrix, list(range(N_DC)), coords,
+        consistency=ConsistencyConfig(read_quorum=quorum),
+        read_timeout_ms=timeout)
+    keys = [f"obj{i}" for i in range(n_keys)]
+    for key in keys:
+        store.create_object(key, size_gb=0.5, k=3,
+                            epoch_period_ms=epoch_period_ms)
+    population = ClientPopulation.uniform(list(range(N_DC, N_NODES)))
+    workload_cls = (BatchedAccessWorkload if engine == "batched"
+                    else AccessWorkload)
+    workload = workload_cls(store, population, keys, rate_per_second=400.0,
+                            write_fraction=write_fraction)
+    return sim, store, workload
+
+
+def _snapshot(store):
+    """Every store-observable outcome of a run, as comparable values."""
+    net = store.network
+    snapshot = {
+        "log": [(r.time, r.client, r.server, r.key, r.delay_ms, r.kind,
+                 r.version, r.stale) for r in store.log.records],
+        "net": (net.stats.messages_sent, net.stats.messages_received,
+                net.stats.bytes_sent, net.stats.bytes_received),
+        "net_per_kind": dict(net.per_kind_bytes),
+        "net_per_node": {node: (s.messages_sent, s.messages_received,
+                                s.bytes_sent, s.bytes_received)
+                         for node, s in net.per_node.items()},
+        "dropped": net.messages_dropped,
+        "failed_reads": store.failed_reads,
+    }
+    controllers = {}
+    for unit_key, unit in store._units.items():
+        controller = unit.controller
+        controllers[unit_key] = {
+            "sites": tuple(sorted(unit.installed)),
+            "reports": list(unit.epoch_reports),
+            "summaries": {
+                server: (summary.accesses, summary.bytes_served,
+                         [(cf.count, cf.weight,
+                           tuple(cf.linear_sum.tolist()),
+                           tuple(cf.square_sum.tolist()))
+                          for cf in summary.snapshot()])
+                for server, summary in controller._summaries.items()},
+        }
+    snapshot["controllers"] = controllers
+    return snapshot
+
+
+def _assert_runs_match(seed, horizon_ms=15_000.0, **config):
+    results = {}
+    for engine in ("event", "batched"):
+        sim, store, _ = _build(seed, engine, **config)
+        sim.run_until(horizon_ms)
+        results[engine] = _snapshot(store)
+    event, batched = results["event"], results["batched"]
+    assert len(event["log"]) > 1_000, "run produced too little traffic"
+    for field in event:
+        assert event[field] == batched[field], \
+            f"engines diverge in {field!r} (seed={seed}, config={config})"
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_read_only_world_identical(seed):
+    """The paper's setting: uniform read-only clients, one object."""
+    _assert_runs_match(seed)
+
+
+def test_all_extensions_armed_identical():
+    """Quorum reads + timeouts + writes + multi-object + short epochs."""
+    _assert_runs_match(7, quorum=2, timeout=60.0, write_fraction=0.05,
+                      n_keys=2, epoch_period_ms=3_000.0)
+
+
+def test_bundled_chaos_scenario_outcomes_identical():
+    """The bundled smoke scenario's chaos outcome is engine-independent.
+
+    Crashes, a partition and a flaky link all land mid-run; the faulty
+    arm's full counter set (reads, failures, failovers, migrations,
+    repairs, final replica sites) must not depend on the engine.
+    """
+    from repro.chaos import load_scenario
+    from repro.chaos.harness import run_scenario
+
+    scenario = load_scenario(os.path.join(EXAMPLES, "chaos", "smoke.toml"))
+    event = run_scenario(scenario, run_index=0, faulty=True)
+    batched = run_scenario(replace(scenario, engine="batched"),
+                           run_index=0, faulty=True)
+    assert asdict(event) == asdict(batched)
+    assert event.crashes > 0 and event.partitions > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [11, 12])
+@pytest.mark.parametrize("config", [
+    dict(quorum=2),
+    dict(timeout=80.0),
+    dict(write_fraction=0.1),
+    dict(n_keys=3, epoch_period_ms=4_000.0),
+], ids=["quorum", "timeout", "writes", "multikey-epochs"])
+def test_feature_matrix_identical(seed, config):
+    """Nightly: each extension alone, longer horizon, extra seeds."""
+    _assert_runs_match(seed, horizon_ms=30_000.0, **config)

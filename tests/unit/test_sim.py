@@ -1,5 +1,7 @@
 """Unit tests for the discrete-event simulator substrate."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -70,6 +72,87 @@ class TestEventQueue:
         q.push(1.0, lambda: None)
         q.clear()
         assert len(q) == 0
+
+    def test_cancellation_tracked_as_tombstones(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(10)]
+        events[3].cancel()
+        events[7].cancel()
+        events[7].cancel()  # idempotent: counted once
+        assert q.tombstones == 2
+        q.pop()  # live event, tombstone count unchanged
+        assert q.tombstones == 2
+        q.compact()
+        assert q.tombstones == 0
+        assert len(q) == 7
+
+    def test_cancelling_many_timers_shrinks_the_heap(self):
+        # The retry/timeout machinery cancels most of the timers it
+        # arms; tombstones must not accumulate for the rest of the run.
+        q = EventQueue()
+        keep = [q.push(float(10_000 + i), lambda: None) for i in range(40)]
+        timers = [q.push(float(i), lambda: None) for i in range(5_000)]
+        assert len(q) == 5_040
+        for timer in timers:
+            timer.cancel()
+        # Compaction triggers whenever tombstones outnumber live events,
+        # so the heap must have collapsed to within a constant factor of
+        # the 40 survivors — not stayed at ~5k entries.
+        assert len(q) <= 2 * len(keep) + 1
+        assert q.tombstones <= len(keep) + 1
+        fired = []
+        while q:
+            event = q.pop()
+            if not event.cancelled:
+                fired.append(event.time)
+                event.fire()
+        assert fired == sorted(e.time for e in keep)
+
+    def test_compaction_preserves_order_and_barriers(self):
+        q = EventQueue()
+        q.enable_barrier_tracking()
+        live = [q.push(float(i), lambda: None) for i in range(0, 200, 2)]
+        doomed = [q.push(float(i), lambda: None) for i in range(1, 200, 2)]
+        for event in doomed:
+            event.cancel()
+        q.compact()
+        assert q.tombstones == 0
+        assert q.next_barrier_time() == live[0].time
+        popped = [q.pop().time for _ in range(len(q))]
+        assert popped == sorted(e.time for e in live)
+
+    def test_barrier_time_skips_inert_events(self):
+        q = EventQueue()
+        q.enable_barrier_tracking()
+        q.push(1.0, lambda: None, inert=True)
+        barrier = q.push(5.0, lambda: None)
+        q.push(9.0, lambda: None, inert=True)
+        assert q.next_barrier_time() == 5.0
+        barrier.cancel()
+        assert q.next_barrier_time() == math.inf
+
+    def test_barrier_time_conservative_without_tracking(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None, inert=True)
+        assert q.next_barrier_time() == 1.0
+        assert EventQueue().next_barrier_time() == math.inf
+
+    def test_enable_barrier_tracking_adopts_queued_events(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None, inert=True)
+        q.push(7.0, lambda: None)
+        q.enable_barrier_tracking()
+        q.enable_barrier_tracking()  # idempotent
+        assert q.next_barrier_time() == 7.0
+
+    def test_popped_barrier_discarded_lazily(self):
+        q = EventQueue()
+        q.enable_barrier_tracking()
+        q.push(1.0, lambda: None)
+        q.push(3.0, lambda: None, inert=True)
+        q.push(6.0, lambda: None)
+        q.pop().fire()
+        assert q.next_barrier_time() == 6.0
 
 
 class TestSimulator:

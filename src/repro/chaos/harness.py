@@ -24,7 +24,11 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro import obs
-from repro.chaos.scenario import ChaosScenario, FaultSpec
+from repro.chaos.scenario import (
+    ChaosScenario,
+    FaultSpec,
+    _parse_domain_spec,
+)
 from repro.core.controller import ControllerConfig
 from repro.core.migration import MigrationPolicy
 from repro.runner.jobs import seed_sequence
@@ -63,6 +67,12 @@ class ChaosRunResult:
     summary_retries: int
     summaries_lost: int
     repairs: int
+    #: Installed replicas hit by a crash over the whole run, and the
+    #: lowest number of live replicas observed at any crash instant —
+    #: the blast-radius metrics the availability certification compares
+    #: between λ > 0 and latency-only placement.
+    replicas_lost: int
+    min_live_replicas: int
     final_sites: tuple[int, ...]
 
 
@@ -96,7 +106,7 @@ class ChaosRunSpec:
 
 
 def _schedule_faults(injector, store, scenario: ChaosScenario,
-                     candidates: Sequence[int]) -> None:
+                     candidates: Sequence[int], domains=None) -> None:
     """Translate candidate-position fault specs into injector calls."""
     def node_of(position: int) -> int:
         return candidates[position]
@@ -131,6 +141,29 @@ def _schedule_faults(injector, store, scenario: ChaosScenario,
                 if until is not None:
                     injector.recover_at(until, victim)
             store.sim.schedule_at(fault.at, assassinate)
+        elif fault.kind == "domain-outage":
+            mode, level, domain_id = _parse_domain_spec(fault.domain)
+            if mode == "explicit":
+                for position in domains.members(level, domain_id):
+                    node = node_of(position)
+                    injector.crash_at(fault.at, node)
+                    if fault.until is not None:
+                        injector.recover_at(fault.until, node)
+            else:
+                # Densest outage: the victim domain is decided when the
+                # fault fires — the one holding the most installed
+                # replicas — so the blast aims at wherever the placer
+                # (latency-only or λ-weighted) actually put the data.
+                def strike(level=level, until=fault.until) -> None:
+                    positions = [store._position_of[s]
+                                 for s in store.installed_sites("obj")]
+                    for position in domains.densest_members(level,
+                                                            positions):
+                        node = node_of(position)
+                        injector.crash_now(node)
+                        if until is not None:
+                            injector.recover_at(until, node)
+                store.sim.schedule_at(fault.at, strike)
         else:  # pragma: no cover - FaultSpec validates kinds
             raise ValueError(f"unknown fault kind {fault.kind!r}")
 
@@ -162,6 +195,8 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
         np.random.default_rng(
             seed_sequence(scenario.seed, run_index, _CANDIDATES_STREAM)))
 
+    domains = scenario.build_domains(matrix, candidates)
+
     sim_seed = int(seed_sequence(scenario.seed, run_index)
                    .generate_state(1)[0])
     sim = Simulator(seed=sim_seed)
@@ -171,11 +206,14 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
         max_read_attempts=scenario.max_read_attempts,
         auto_repair=scenario.auto_repair,
         repair_period_ms=scenario.repair_period_ms,
-        retry_policy=scenario.retry)
+        retry_policy=scenario.retry,
+        domains=domains)
     store.create_object(
         "obj", k=scenario.k,
         controller_config=ControllerConfig(
-            k=scenario.k, max_micro_clusters=scenario.max_micro_clusters),
+            k=scenario.k, max_micro_clusters=scenario.max_micro_clusters,
+            availability_lambda=scenario.availability_lambda,
+            max_epoch_moves=scenario.max_epoch_moves),
         policy=MigrationPolicy(min_relative_gain=scenario.min_relative_gain,
                                min_absolute_gain_ms=0.5),
         epoch_period_ms=scenario.epoch_period_ms)
@@ -184,13 +222,40 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
         workload_cls = BatchedAccessWorkload
     else:
         workload_cls = AccessWorkload
-    workload = workload_cls(store, ClientPopulation.uniform(clients),
-                            ["obj"],
+    if scenario.hotspot_exponent > 0:
+        # Skew the client mass toward one candidate site, so a
+        # latency-only placer concentrates replicas near the hotspot —
+        # the concentration the availability objective is meant to
+        # counteract.
+        anchor = candidates[scenario.hotspot_anchor]
+        weights = [
+            (1.0 / (float(matrix.latency(c, anchor)) + 1.0))
+            ** scenario.hotspot_exponent
+            for c in clients
+        ]
+        population = ClientPopulation(clients, weights)
+    else:
+        population = ClientPopulation.uniform(clients)
+    workload = workload_cls(store, population, ["obj"],
                             rate_per_second=scenario.rate_per_second)
 
-    injector = FailureInjector(store.network)
+    # Blast-radius accounting: every crash is scored against the
+    # installed replica set at the instant it lands (the injector fires
+    # the hook after marking the victim down, so ``is_up`` already
+    # reflects the crash).
+    blast = {"lost": 0, "min_live": scenario.k}
+
+    def note_crash(node: int) -> None:
+        installed = store.installed_sites("obj")
+        if node in installed:
+            blast["lost"] += 1
+        live = sum(1 for s in installed if store.network.is_up(s))
+        blast["min_live"] = min(blast["min_live"], live)
+
+    injector = FailureInjector(store.network, on_crash=note_crash)
     if faulty:
-        _schedule_faults(injector, store, scenario, candidates)
+        _schedule_faults(injector, store, scenario, candidates,
+                         domains=domains)
 
     sim.run_until(scenario.duration_ms + scenario.settle_ms)
 
@@ -222,6 +287,8 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
         summary_retries=store.summary_retries,
         summaries_lost=store.summaries_lost,
         repairs=store.repairs,
+        replicas_lost=blast["lost"],
+        min_live_replicas=blast["min_live"],
         final_sites=store.installed_sites("obj"),
     )
 
@@ -235,8 +302,11 @@ def _aggregate(results: Sequence[ChaosRunResult]) -> dict[str, Any]:
                      "epochs_degraded", "stale_summaries_dropped",
                      "migrations", "migration_retries",
                      "migrations_abandoned", "migration_rollbacks",
-                     "summary_retries", "summaries_lost", "repairs")
+                     "summary_retries", "summaries_lost", "repairs",
+                     "replicas_lost")
     }
+    totals["min_live_replicas"] = min(
+        r.min_live_replicas for r in results)
     totals["mean_delay_ms"] = float(
         np.mean([r.mean_delay_ms for r in results]))
     totals["final_delay_ms"] = float(
@@ -320,6 +390,8 @@ def format_chaos(summary: dict[str, Any]) -> str:
         ("summary retries", "summary_retries"),
         ("summaries lost", "summaries_lost"),
         ("repairs", "repairs"),
+        ("replicas lost", "replicas_lost"),
+        ("min live replicas", "min_live_replicas"),
     ]
     for label, field_name in rows:
         if field_name is None:

@@ -40,6 +40,32 @@ takes ``group_a`` (and optional ``group_b``, default: the remaining
 candidates); ``flaky-link`` takes ``a``/``b``/``loss``/``symmetric``;
 ``crash-coordinator`` needs no node — it kills whatever node the
 failover protocol currently ranks as coordinator when it fires.
+
+With a ``[domains]`` section the candidates are annotated with a
+region → DC → rack failure-domain tree (:mod:`repro.net.domains`)::
+
+    [domains]
+    regions = 2                   # > 0 enables the model
+    dcs_per_region = 2
+    racks_per_dc = 2
+    p_region = 0.02               # per-level outage probabilities of
+    p_dc = 0.05                   #   the co-failure *model* the placer
+    p_rack = 0.10                 #   optimizes against
+    p_node = 0.02
+    domain_assignment = "proximity"   # or "contiguous"
+
+    [[faults]]
+    kind = "domain-outage"        # crash every member of one domain
+    at = 30_000.0
+    domain = "densest-rack"       # or "rack:3", "dc:0", "region:1"
+    until = 45_000.0
+
+``availability_lambda`` (in ``[object]``) prices co-failure risk into
+the placement objective; ``hotspot_exponent`` / ``hotspot_anchor`` (in
+``[workload]``) skew the client population toward one candidate so a
+latency-only placement has a blast radius worth measuring.  A
+``"densest-<level>"`` outage resolves its victim domain *when it
+fires*: the domain of that level holding the most installed replicas.
 """
 
 from __future__ import annotations
@@ -47,9 +73,13 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field, fields
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.migration import RetryPolicy
+from repro.net.domains import LEVELS, FailureDomains
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.latency import LatencyMatrix
 
 __all__ = ["FaultSpec", "ChaosScenario", "load_scenario", "FAULT_KINDS"]
 
@@ -59,6 +89,7 @@ FAULT_KINDS: dict[str, tuple[str, ...]] = {
     "partition": ("group_a",),
     "flaky-link": ("a", "b", "loss"),
     "crash-coordinator": (),
+    "domain-outage": ("domain",),
 }
 
 #: Optional entry fields accepted per kind.
@@ -67,7 +98,35 @@ _OPTIONAL: dict[str, tuple[str, ...]] = {
     "partition": ("group_b", "until"),
     "flaky-link": ("symmetric", "until"),
     "crash-coordinator": ("until",),
+    "domain-outage": ("until",),
 }
+
+
+def _parse_domain_spec(spec: str) -> tuple[str, str, int | None]:
+    """Split a fault's domain spec into (mode, level, id).
+
+    ``"densest-rack"`` -> ``("densest", "rack", None)``;
+    ``"rack:3"`` -> ``("explicit", "rack", 3)``.  Raises on anything
+    else.
+    """
+    if spec.startswith("densest-"):
+        level = spec[len("densest-"):]
+        if level not in LEVELS:
+            raise ValueError(f"unknown domain level in {spec!r}; "
+                             f"known: {LEVELS}")
+        return "densest", level, None
+    level, sep, raw = spec.partition(":")
+    if not sep or level not in LEVELS:
+        raise ValueError(
+            f"bad domain spec {spec!r}; use 'densest-<level>' or "
+            f"'<level>:<id>' with level in {LEVELS}")
+    try:
+        domain_id = int(raw)
+    except ValueError:
+        raise ValueError(f"bad domain id in {spec!r}") from None
+    if domain_id < 0:
+        raise ValueError(f"domain id in {spec!r} must be non-negative")
+    return "explicit", level, domain_id
 
 
 @dataclass(frozen=True)
@@ -84,6 +143,7 @@ class FaultSpec:
     loss: float | None = None
     symmetric: bool = False
     until: float | None = None
+    domain: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -102,6 +162,11 @@ class FaultSpec:
                 raise ValueError("flaky-link fault needs 'a', 'b', 'loss'")
             if not 0.0 <= self.loss <= 1.0:
                 raise ValueError("link loss must lie in [0, 1]")
+        if self.kind == "domain-outage":
+            if not self.domain:
+                raise ValueError("domain-outage fault needs a 'domain'")
+            _parse_domain_spec(self.domain)  # format check; bounds are
+            # the scenario's job — it knows the domain-tree shape.
 
 
 @dataclass(frozen=True)
@@ -120,11 +185,24 @@ class ChaosScenario:
     epoch_period_ms: float = 10_000.0
     max_micro_clusters: int = 10
     min_relative_gain: float = 0.02
+    availability_lambda: float = 0.0
+    max_epoch_moves: int | None = None
+    # Failure domains (regions == 0 disables the model)
+    regions: int = 0
+    dcs_per_region: int = 1
+    racks_per_dc: int = 1
+    p_region: float = 0.0
+    p_dc: float = 0.0
+    p_rack: float = 0.0
+    p_node: float = 0.0
+    domain_assignment: str = "proximity"
     # Workload
     rate_per_second: float = 120.0
     duration_ms: float = 60_000.0
     settle_ms: float = 5_000.0
     engine: str = "event"
+    hotspot_exponent: float = 0.0
+    hotspot_anchor: int = 0
     # Store resilience knobs
     read_timeout_ms: float | None = 600.0
     max_read_attempts: int = 3
@@ -146,11 +224,53 @@ class ChaosScenario:
         if self.engine not in ("event", "batched"):
             raise ValueError(f"unknown engine {self.engine!r} "
                              "(use 'event' or 'batched')")
+        if self.domain_assignment not in ("proximity", "contiguous"):
+            raise ValueError(f"unknown domain_assignment "
+                             f"{self.domain_assignment!r} "
+                             "(use 'proximity' or 'contiguous')")
+        if self.regions < 0:
+            raise ValueError("regions must be non-negative")
+        if self.regions > 0:
+            if self.dcs_per_region < 1 or self.racks_per_dc < 1:
+                raise ValueError("domain counts must be positive")
+            racks = self.regions * self.dcs_per_region * self.racks_per_dc
+            if racks > self.n_dc:
+                raise ValueError(f"{racks} racks for {self.n_dc} candidates "
+                                 "— every rack needs at least one")
+            for name in ("p_region", "p_dc", "p_rack", "p_node"):
+                if not 0.0 <= getattr(self, name) < 1.0:
+                    raise ValueError(f"{name} must lie in [0, 1)")
+        if self.availability_lambda < 0:
+            raise ValueError("availability_lambda must be non-negative")
+        if self.availability_lambda > 0 and self.regions == 0:
+            raise ValueError("availability_lambda > 0 needs a [domains] "
+                             "section with regions > 0")
+        if self.max_epoch_moves is not None and self.max_epoch_moves < 1:
+            raise ValueError("max_epoch_moves must be at least 1")
+        if self.hotspot_exponent < 0:
+            raise ValueError("hotspot_exponent must be non-negative")
+        if not 0 <= self.hotspot_anchor < self.n_dc:
+            raise ValueError(f"hotspot_anchor {self.hotspot_anchor} is not "
+                             f"a candidate position (< {self.n_dc})")
+        domain_counts = {
+            "region": self.regions,
+            "dc": self.regions * self.dcs_per_region,
+            "rack": self.regions * self.dcs_per_region * self.racks_per_dc,
+        }
         horizon = self.duration_ms + self.settle_ms
         for fault in self.faults:
             if fault.at >= horizon:
                 raise ValueError(f"fault at {fault.at} ms lies beyond the "
                                  f"run horizon {horizon} ms")
+            if fault.kind == "domain-outage":
+                if self.regions == 0:
+                    raise ValueError("domain-outage faults need a [domains] "
+                                     "section with regions > 0")
+                mode, level, domain_id = _parse_domain_spec(fault.domain)
+                if mode == "explicit" and domain_id >= domain_counts[level]:
+                    raise ValueError(
+                        f"fault references {fault.domain!r}, but the "
+                        f"scenario has {domain_counts[level]} {level}s")
             for position in ((fault.node,) if fault.node is not None else ()) \
                     + fault.group_a + fault.group_b \
                     + tuple(p for p in (fault.a, fault.b) if p is not None):
@@ -158,6 +278,30 @@ class ChaosScenario:
                     raise ValueError(
                         f"fault references candidate position {position}, "
                         f"but the scenario has {self.n_dc} candidates")
+
+    def build_domains(self, matrix: "LatencyMatrix | None" = None,
+                      candidates: Any = None) -> FailureDomains | None:
+        """Materialize the failure-domain annotation, or ``None``.
+
+        ``"proximity"`` assignment derives racks/DCs/regions from the
+        run's ground-truth RTTs (pass the run's matrix and candidate
+        node ids); ``"contiguous"`` slices candidate positions evenly
+        and needs neither.
+        """
+        if self.regions == 0:
+            return None
+        probs = dict(p_region=self.p_region, p_dc=self.p_dc,
+                     p_rack=self.p_rack, p_node=self.p_node)
+        if self.domain_assignment == "contiguous":
+            return FailureDomains.contiguous(
+                self.n_dc, self.regions, self.dcs_per_region,
+                self.racks_per_dc, **probs)
+        if matrix is None or candidates is None:
+            raise ValueError("proximity domain assignment needs the run's "
+                             "latency matrix and candidate node ids")
+        return FailureDomains.from_matrix(
+            matrix, candidates, self.regions, self.dcs_per_region,
+            self.racks_per_dc, **probs)
 
 
 def _parse_fault(entry: dict, index: int, source: str) -> FaultSpec:
@@ -192,7 +336,7 @@ def _parse_scenario(payload: dict, source: str) -> ChaosScenario:
             flat[key] = payload[key]
     # The nested tables are flat namespaces over ChaosScenario fields.
     scenario_fields = {f.name for f in fields(ChaosScenario)}
-    for section in ("world", "object", "workload", "store"):
+    for section in ("world", "object", "workload", "store", "domains"):
         table = payload.get(section, {})
         unknown = sorted(set(table) - scenario_fields)
         if unknown:
@@ -210,7 +354,8 @@ def _parse_scenario(payload: dict, source: str) -> ChaosScenario:
     flat["faults"] = tuple(_parse_fault(entry, i, source)
                            for i, entry in enumerate(faults))
     stray = sorted(set(payload) - {"name", "seed", "runs", "world", "object",
-                                   "workload", "store", "retry", "faults"})
+                                   "workload", "store", "domains", "retry",
+                                   "faults"})
     if stray:
         raise ValueError(f"{source}: unknown top-level entries {stray}")
     return ChaosScenario(**flat)

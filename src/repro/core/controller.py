@@ -30,6 +30,8 @@ from repro.core.macro import estimate_average_delay, place_replicas
 from repro.core.migration import MigrationCostModel, MigrationPolicy, MigrationVerdict
 from repro.core.readwrite import estimate_rw_cost, place_replicas_rw
 from repro.core.summarizer import ReplicaAccessSummary
+from repro.net.domains import FailureDomains
+from repro.placement.availability import bound_transfers, refine_for_availability
 
 __all__ = ["ControllerConfig", "EpochReport", "ReplicationController"]
 
@@ -60,6 +62,18 @@ class ControllerConfig:
         :func:`~repro.core.readwrite.place_replicas_rw`, pricing update
         fan-out between replicas.  ``False`` (default) reproduces the
         paper's read-mostly model, folding all accesses into one stream.
+    availability_lambda:
+        Weight λ (milliseconds per unit of pairwise co-failure risk) of
+        the availability term added to the placement objective when the
+        controller was built with a
+        :class:`~repro.net.domains.FailureDomains` annotation.  ``0.0``
+        (the default) reproduces the paper's latency-only decisions
+        bit-for-bit — no refinement runs, no objective term is added.
+    max_epoch_moves:
+        Optional cap on the number of *new* replica sites one epoch may
+        adopt, bounding the per-epoch migration burst a swing toward
+        safer domains could otherwise demand.  ``None`` leaves bursts
+        unbounded (the paper's behaviour).
     """
 
     k: int = 3
@@ -73,6 +87,8 @@ class ControllerConfig:
     demand_low: int = 100
     summary_decay: float | None = None
     write_aware: bool = False
+    availability_lambda: float = 0.0
+    max_epoch_moves: int | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -86,6 +102,10 @@ class ControllerConfig:
                 raise ValueError("demand_low must be below demand_high")
         if self.summary_decay is not None and not 0.0 < self.summary_decay <= 1.0:
             raise ValueError("summary decay must lie in (0, 1]")
+        if self.availability_lambda < 0:
+            raise ValueError("availability lambda must be non-negative")
+        if self.max_epoch_moves is not None and self.max_epoch_moves < 1:
+            raise ValueError("max_epoch_moves must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -145,6 +165,11 @@ class ReplicationController:
     on_migrate:
         Optional callback ``(old_sites, new_sites)`` fired after a
         migration is adopted — the storage layer moves the data there.
+    domains:
+        Optional :class:`~repro.net.domains.FailureDomains` annotation
+        over the candidate positions.  Required for
+        ``config.availability_lambda > 0`` (the λ-objective needs a
+        co-failure model); ignored at λ = 0.
     """
 
     def __init__(self, dc_coords: np.ndarray,
@@ -153,9 +178,18 @@ class ReplicationController:
                  cost_model: MigrationCostModel | None = None,
                  policy: MigrationPolicy | None = None,
                  on_migrate: Callable[[tuple[int, ...], tuple[int, ...]], None]
-                 | None = None) -> None:
+                 | None = None,
+                 domains: FailureDomains | None = None) -> None:
         self.dc_coords = np.atleast_2d(np.asarray(dc_coords, dtype=float))
         self.config = config or ControllerConfig()
+        self.domains = domains
+        if domains is not None and domains.n != self.dc_coords.shape[0]:
+            raise ValueError(
+                f"domains annotate {domains.n} positions but there are "
+                f"{self.dc_coords.shape[0]} candidates")
+        if self.config.availability_lambda > 0 and domains is None:
+            raise ValueError(
+                "availability_lambda > 0 needs a FailureDomains annotation")
         self.cost_model = cost_model or MigrationCostModel()
         self.policy = policy or MigrationPolicy()
         self.on_migrate = on_migrate
@@ -461,6 +495,41 @@ class ReplicationController:
             # data center, by construction.
             proposed_sites = tuple(int(eligible_idx[p])
                                    for p in proposed_sites)
+
+        lam = self.config.availability_lambda
+        refining = lam > 0.0 and self.domains is not None
+        if refining or self.config.max_epoch_moves is not None:
+            if self.config.write_aware:
+                def predicted_delay_of(positions: list[int]) -> float:
+                    return float(estimate_rw_cost(
+                        pooled, pooled_writes,
+                        self.dc_coords[np.array(positions)])[0])
+            else:
+                def predicted_delay_of(positions: list[int]) -> float:
+                    return float(estimate_average_delay(
+                        pooled, self.dc_coords[np.array(positions)]))
+
+            def combined_objective(positions: list[int]) -> float:
+                value = predicted_delay_of(positions)
+                if refining:
+                    value += lam * self.domains.cofailure_risk(positions)
+                return value
+
+        if refining:
+            refined = refine_for_availability(
+                list(proposed_sites), predicted_delay_of, self.domains, lam,
+                eligible=(None if eligible_idx is None
+                          else eligible_idx.tolist()))
+            if tuple(refined) != proposed_sites:
+                proposed_sites = tuple(int(p) for p in refined)
+                proposed_delay = predicted_delay_of(list(proposed_sites))
+        if self.config.max_epoch_moves is not None:
+            trimmed = bound_transfers(previous_sites, list(proposed_sites),
+                                      self.config.max_epoch_moves,
+                                      combined_objective)
+            if tuple(trimmed) != proposed_sites:
+                proposed_sites = tuple(int(p) for p in trimmed)
+                proposed_delay = predicted_delay_of(list(proposed_sites))
         self.tally.clustering_seconds += time.perf_counter() - started
         if len(proposed_sites) < len(previous_sites):
             # Shedding replicas can never *reduce* delay, so the latency
@@ -476,8 +545,23 @@ class ReplicationController:
                 "degree of replication reduced to match demand",
             )
         else:
-            verdict = self.policy.decide(current_delay,
-                                         proposed_delay,
+            # Under the λ-objective the policy must weigh the *combined*
+            # costs, or a move that pays a little latency for a lot of
+            # safety would always be vetoed.  At λ = 0 this branch is
+            # never taken and the paper's pure-latency comparison runs
+            # untouched.
+            if refining:
+                decide_current = (current_delay
+                                  + lam * self.domains.cofailure_risk(
+                                      previous_sites))
+                decide_proposed = (proposed_delay
+                                   + lam * self.domains.cofailure_risk(
+                                       proposed_sites))
+            else:
+                decide_current = current_delay
+                decide_proposed = proposed_delay
+            verdict = self.policy.decide(decide_current,
+                                         decide_proposed,
                                          self.cost_model, previous_sites,
                                          proposed_sites)
         if verdict.migrate:

@@ -108,8 +108,18 @@ class MigrationCostModel:
         Each replica created at a site not already holding one is a full
         object transfer; dropped replicas are free.
         """
-        new_sites = set(proposed) - set(current)
-        return len(new_sites) * self.dollars_per_gb * self.object_size_gb
+        return (self.transfers_of_move(current, proposed)
+                * self.dollars_per_gb * self.object_size_gb)
+
+    def transfers_of_move(self, current: Sequence[int],
+                          proposed: Sequence[int]) -> int:
+        """Number of full object transfers the move requires.
+
+        The per-epoch burst metric behind the controller's
+        ``max_epoch_moves`` cap: every proposed site not already holding
+        a replica must be seeded with one object-sized transfer.
+        """
+        return len(set(proposed) - set(current))
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ externally measured matrices.
 """
 
 from repro.net.latency import LatencyMatrix
+from repro.net.domains import FailureDomains
 from repro.net.topology import GeoTopology, Region, WORLD_REGIONS, great_circle_km
 from repro.net.planetlab import PlanetLabParams, synthetic_planetlab_matrix
 from repro.net.bandwidth import (
@@ -22,6 +23,7 @@ from repro.net.io import load_matrix, save_matrix
 
 __all__ = [
     "LatencyMatrix",
+    "FailureDomains",
     "GeoTopology",
     "Region",
     "WORLD_REGIONS",

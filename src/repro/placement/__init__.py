@@ -43,11 +43,19 @@ from repro.placement.greedy import GreedyPlacement
 from repro.placement.hotzone import HotZonePlacement
 from repro.placement.kmedian import KMedianPlacement
 from repro.placement.coded import CodedPlacement, coded_access_delay
+from repro.placement.availability import (
+    AvailabilityAwarePlacement,
+    bound_transfers,
+    refine_for_availability,
+)
 
 __all__ = [
     "PlacementProblem",
     "PlacementStrategy",
     "average_access_delay",
+    "AvailabilityAwarePlacement",
+    "bound_transfers",
+    "refine_for_availability",
     "RandomPlacement",
     "OfflineKMeansPlacement",
     "OnlineClusteringPlacement",

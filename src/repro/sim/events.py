@@ -108,6 +108,11 @@ class EventQueue:
         self._tombstones = 0
         self._track_barriers = False
         self._barriers: list[Event] = []
+        #: Live non-inert events retired so far.  Each one is a bulk-
+        #: window boundary a batched data plane had to stop at, so the
+        #: counter measures how "choppy" a run was for bulk processing —
+        #: the chaos benchmark reports it next to wall-clock time.
+        self.barriers_fired = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -137,8 +142,11 @@ class EventQueue:
         if not self._heap:
             raise IndexError("pop from empty event queue")
         event = heapq.heappop(self._heap)
-        if event.cancelled and self._tombstones > 0:
-            self._tombstones -= 1
+        if event.cancelled:
+            if self._tombstones > 0:
+                self._tombstones -= 1
+        elif not event.inert:
+            self.barriers_fired += 1
         event._queue = None
         return event
 

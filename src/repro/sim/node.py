@@ -84,6 +84,12 @@ class Network:
         self._blocked: set[tuple[int, int]] = set()
         #: Directed per-link drop probability (flaky links).
         self._loss: dict[tuple[int, int], float] = {}
+        #: Monotone fault-state version: bumped by every node/link state
+        #: mutation.  Consumers (the batched engine's route cache) use it
+        #: to know whether any reachability/reliability answer could have
+        #: changed since they last looked, without re-deriving the full
+        #: fault state.
+        self.state_epoch = 0
         self.messages_dropped = 0
 
     def register(self, node: "Node") -> None:
@@ -241,10 +247,12 @@ class Network:
 
     def set_down(self, node_id: int) -> None:
         """Mark a node crashed; its traffic is dropped until set_up."""
+        self.state_epoch += 1
         self._down.add(node_id)
 
     def set_up(self, node_id: int) -> None:
         """Mark a node recovered."""
+        self.state_epoch += 1
         self._down.discard(node_id)
 
     # ------------------------------------------------------------------
@@ -252,12 +260,14 @@ class Network:
     # ------------------------------------------------------------------
     def set_link_down(self, a: int, b: int, symmetric: bool = True) -> None:
         """Cut the ``a -> b`` link (and ``b -> a`` when symmetric)."""
+        self.state_epoch += 1
         self._blocked.add((a, b))
         if symmetric:
             self._blocked.add((b, a))
 
     def set_link_up(self, a: int, b: int, symmetric: bool = True) -> None:
         """Restore the ``a -> b`` link (and ``b -> a`` when symmetric)."""
+        self.state_epoch += 1
         self._blocked.discard((a, b))
         if symmetric:
             self._blocked.discard((b, a))
@@ -289,12 +299,14 @@ class Network:
         """
         if not 0.0 <= probability <= 1.0:
             raise ValueError("loss probability must lie in [0, 1]")
+        self.state_epoch += 1
         self._loss[(a, b)] = probability
         if symmetric:
             self._loss[(b, a)] = probability
 
     def clear_link_loss(self, a: int, b: int, symmetric: bool = False) -> None:
         """Make the ``a -> b`` link reliable again."""
+        self.state_epoch += 1
         self._loss.pop((a, b), None)
         if symmetric:
             self._loss.pop((b, a), None)

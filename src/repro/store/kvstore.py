@@ -39,6 +39,7 @@ from repro.core.controller import (
 )
 from repro.core.migration import MigrationCostModel, MigrationPolicy, RetryPolicy
 from repro.net.bandwidth import BandwidthModel
+from repro.net.domains import FailureDomains
 from repro.sim.node import Message, Network, Node
 from repro.sim.process import PeriodicProcess
 from repro.sim.simulator import Simulator
@@ -110,6 +111,7 @@ class StorageServer(Node):
             self._forward(message)
             return
         version = self.store._next_version(key)
+        self.store._state_version += 1
         self.replicas[key] = max(self.replicas[key], version)
         self.store._record_server_access(self.node_id, key,
                                          message.payload["coords"],
@@ -140,6 +142,7 @@ class StorageServer(Node):
         a migration or repair moves the whole unit in one transfer.
         """
         versions: Mapping[str, int] = message.payload["versions"]
+        self.store._state_version += 1
         for key, version in versions.items():
             self.replicas[key] = max(self.replicas.get(key, -1), version)
         reason = message.payload.get("reason")
@@ -167,10 +170,12 @@ class StorageServer(Node):
     # ------------------------------------------------------------------
     def install(self, key: str, version: int) -> None:
         """Place a replica directly (initial placement, no transfer)."""
+        self.store._state_version += 1
         self.replicas[key] = version
 
     def drop(self, key: str) -> None:
         """Discard a replica."""
+        self.store._state_version += 1
         self.replicas.pop(key, None)
 
     def holds_unit(self, unit: "_PlacementUnit") -> bool:
@@ -473,7 +478,8 @@ class ReplicatedStore:
                  max_read_attempts: int = 3,
                  auto_repair: bool = False,
                  repair_period_ms: float = 5_000.0,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 domains: "FailureDomains | None" = None) -> None:
         if selection not in ("coords", "oracle"):
             raise ValueError("selection must be 'coords' or 'oracle'")
         if read_timeout_ms is not None and read_timeout_ms <= 0:
@@ -500,6 +506,22 @@ class ReplicatedStore:
         self.candidates = tuple(int(c) for c in candidates)
         if len(set(self.candidates)) != len(self.candidates):
             raise ValueError("candidate node ids must be distinct")
+        #: Node id -> candidate position, the inverse of ``candidates``.
+        #: Every hot path that needs a position uses this map instead of
+        #: an O(n) ``candidates.index`` scan.
+        self._position_of = {node: position for position, node
+                             in enumerate(self.candidates)}
+        self.domains = domains
+        if domains is not None and domains.n != len(self.candidates):
+            raise ValueError(
+                f"domains annotate {domains.n} positions but there are "
+                f"{len(self.candidates)} candidates")
+        #: Monotone replica-state version: bumped whenever any server's
+        #: replica set, any unit's installed set, or any object's latest
+        #: version changes.  Together with ``network.state_epoch`` it
+        #: tells the batched engine whether a cached routing answer can
+        #: still be trusted.
+        self._state_version = 0
         self._coords = coords
         self.selection = selection
         self.consistency = consistency or ConsistencyConfig()
@@ -625,7 +647,7 @@ class ReplicatedStore:
 
         total_gb = sum(obj.size_gb for obj in members.values())
         config = controller_config or ControllerConfig(k=len(initial_sites))
-        positions = [self.candidates.index(s) for s in initial_sites]
+        positions = [self._position_of[s] for s in initial_sites]
         dc_coords = self.planar_coords()[list(self.candidates)]
         controller = ReplicationController(
             dc_coords, positions, config,
@@ -633,6 +655,7 @@ class ReplicatedStore:
             policy=policy,
             on_migrate=lambda old, new, _unit=unit_key: self._execute_migration(
                 _unit, old, new),
+            domains=self.domains,
         )
         unit = _PlacementUnit(unit_key=unit_key, members=members,
                               controller=controller,
@@ -732,6 +755,7 @@ class ReplicatedStore:
 
     def _next_version(self, key: str) -> int:
         unit = self._unit_of_key(key)
+        self._state_version += 1
         unit.latest[key] += 1
         return unit.latest[key]
 
@@ -771,7 +795,7 @@ class ReplicatedStore:
                               bytes_exchanged: float,
                               kind: str = "read") -> None:
         unit = self._unit_of_key(key)
-        position = self.candidates.index(server)
+        position = self._position_of[server]
         if self._fold_buffering:
             # Batched engine attached: defer the fold.  The buffer is
             # flushed in access-time order before any summary is
@@ -884,8 +908,8 @@ class ReplicatedStore:
         unit.controller.dc_coords = self.planar_coords()[list(self.candidates)]
         coordinator = self.current_coordinator(unit_key)
         _, lease = unit.controller.elect_coordinator(
-            [self.candidates.index(coordinator)])
-        reachable = [self.candidates.index(s) for s in sorted(unit.installed)
+            [self._position_of[coordinator]])
+        reachable = [self._position_of[s] for s in sorted(unit.installed)
                      if self.network.can_reach(s, coordinator)]
         eligible = [p for p, site in enumerate(self.candidates)
                     if self.network.can_reach(coordinator, site)
@@ -1100,6 +1124,7 @@ class ReplicatedStore:
             return
         unit.awaiting.discard(node_id)
         # New replicas serve reads as soon as they are installed.
+        self._state_version += 1
         unit.installed.add(node_id)
         if not unit.awaiting:
             self._finalize_migration(unit_key)
@@ -1129,6 +1154,7 @@ class ReplicatedStore:
         for site in sorted(unit.installed - final):
             for key in unit.members:
                 self.servers[site].drop(key)
+        self._state_version += 1
         unit.installed = set(final)
         rolled_back = bool(unit.abandoned)
         unit.target = None
@@ -1137,7 +1163,7 @@ class ReplicatedStore:
             # The controller adopted the proposal optimistically when the
             # verdict fired; re-align it with what actually happened.
             unit.controller.sync_sites(
-                [self.candidates.index(s) for s in sorted(unit.installed)])
+                [self._position_of[s] for s in sorted(unit.installed)])
         registry = obs.get_registry()
         if registry.enabled:
             registry.counter("store.migrations.finished").inc()
@@ -1176,9 +1202,10 @@ class ReplicatedStore:
 
         if lost or live != unit.installed:
             if live:
+                self._state_version += 1
                 unit.installed = live
                 unit.controller.sync_sites(
-                    [self.candidates.index(s) for s in sorted(live)])
+                    [self._position_of[s] for s in sorted(live)])
             else:
                 # Every replica is down; keep the old set and wait for a
                 # recovery — there is nothing to repair *from*.
@@ -1218,6 +1245,7 @@ class ReplicatedStore:
         unit.awaiting.discard(node_id)
         if not self.network.is_up(node_id):
             return  # it crashed again while the transfer was in flight
+        self._state_version += 1
         unit.installed.add(node_id)
         unit.controller.sync_sites(
-            [self.candidates.index(s) for s in sorted(unit.installed)])
+            [self._position_of[s] for s in sorted(unit.installed)])

@@ -1,0 +1,143 @@
+"""Certification of availability-aware placement under correlated outages.
+
+For every bundled outage scenario (rack, DC, region) the λ > 0 arm must
+lose strictly fewer installed replicas to the outage than its λ = 0
+latency-only twin, while costing at most 10 % extra fair-weather mean
+latency.  The λ = 0 twin is a *bitwise* contract, certified here at the
+whole-system level: a λ = 0 run with the failure-domain annotation
+attached is byte-for-byte the run with no domain model at all, on both
+engines.
+
+The certification runs on the batched engine;
+``tests/integration/test_engine_equivalence.py`` proves every one of
+these scenarios produces identical results on the per-event oracle, so
+the verdicts transfer.
+"""
+
+import glob
+import os
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.chaos.harness import chaos_summary_json, run_chaos, run_scenario
+from repro.chaos.scenario import load_scenario
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "examples", "chaos")
+OUTAGE_SCENARIOS = ("rack_outage.toml", "dc_outage.toml",
+                    "region_outage.toml")
+
+
+def outage(filename):
+    return load_scenario(os.path.join(EXAMPLES, filename))
+
+
+def test_outage_scenarios_are_bundled():
+    bundled = {os.path.basename(p)
+               for p in glob.glob(os.path.join(EXAMPLES, "*.toml"))}
+    assert set(OUTAGE_SCENARIOS) <= bundled
+
+
+@pytest.mark.parametrize("filename", OUTAGE_SCENARIOS)
+def test_availability_loses_strictly_fewer_replicas(filename):
+    scenario = replace(outage(filename), engine="batched")
+    latency_only = replace(scenario, availability_lambda=0.0)
+
+    avail = run_scenario(scenario, faulty=True)
+    lat = run_scenario(latency_only, faulty=True)
+
+    # The outage must be a real blast (the latency-only placement packs
+    # >= 2 replicas into the struck domain) and the availability-aware
+    # arm must lose strictly fewer — the headline acceptance assertion.
+    assert lat.replicas_lost >= 2, (filename, lat)
+    assert avail.replicas_lost < lat.replicas_lost, (filename, avail, lat)
+    assert avail.min_live_replicas >= lat.min_live_replicas, (filename,)
+
+    # Bounded latency cost: measured in fair weather (faults off), where
+    # the λ penalty is the *only* difference between the arms.
+    avail_calm = run_scenario(scenario, faulty=False)
+    lat_calm = run_scenario(latency_only, faulty=False)
+    assert (avail_calm.mean_delay_ms
+            <= 1.10 * lat_calm.mean_delay_ms), (filename, avail_calm,
+                                                lat_calm)
+
+
+@pytest.mark.parametrize("engine", ["event", "batched"])
+def test_lambda_zero_is_bitwise_latency_only(engine):
+    # Attaching the failure-domain annotation with λ = 0 must change
+    # *nothing*: same placements, same access log, same counters as a
+    # run with no domain model at all.  (Domain-outage faults need the
+    # annotation, so the comparison runs the schedule-free arms.)
+    scenario = replace(outage("rack_outage.toml"), engine=engine,
+                       availability_lambda=0.0, faults=())
+    without_domains = replace(scenario, regions=0)
+    for faulty in (True, False):
+        annotated = run_scenario(scenario, faulty=faulty)
+        plain = run_scenario(without_domains, faulty=faulty)
+        assert asdict(annotated) == asdict(plain), (engine, faulty)
+
+
+@pytest.mark.parametrize("filename", OUTAGE_SCENARIOS)
+def test_lambda_sweep_risk_drops(filename):
+    # The λ knob does what it says on each bundled world: the placement
+    # chosen at the scenario's λ carries strictly lower modelled
+    # co-failure risk than the λ = 0 placement.
+    scenario = replace(outage(filename), engine="batched")
+    domains = scenario.build_domains(*_world_of(scenario))
+    risks = {}
+    for lam in (0.0, scenario.availability_lambda):
+        result = run_scenario(replace(scenario, availability_lambda=lam),
+                              faulty=False)
+        positions = _positions_of(scenario, result.final_sites)
+        risks[lam] = domains.cofailure_risk(positions)
+    assert risks[scenario.availability_lambda] < risks[0.0], risks
+
+
+def _world_of(scenario, run_index=0):
+    """Rebuild the (matrix, candidates) pair of a scenario run —
+    identical to the harness's own construction."""
+    import numpy as np
+    from repro.analysis.experiment import draw_candidates
+    from repro.net import PlanetLabParams, synthetic_planetlab_matrix
+    from repro.runner.jobs import seed_sequence
+
+    matrix, _ = synthetic_planetlab_matrix(
+        PlanetLabParams(n=scenario.n_nodes), seed=scenario.seed)
+    candidates, _ = draw_candidates(
+        matrix, scenario.n_dc,
+        np.random.default_rng(seed_sequence(scenario.seed, run_index, 101)))
+    return matrix, candidates
+
+
+def _positions_of(scenario, sites, run_index=0):
+    _, candidates = _world_of(scenario, run_index)
+    position_of = {int(node): p for p, node in enumerate(candidates)}
+    return [position_of[int(s)] for s in sites]
+
+
+def test_golden_determinism_serial_vs_parallel():
+    # The certification scenario is bitwise reproducible: rerunning it
+    # gives identical counters, and the pooled summary is byte-identical
+    # at any worker count.
+    scenario = outage("dc_outage.toml")
+    first = run_scenario(scenario, faulty=True)
+    second = run_scenario(scenario, faulty=True)
+    assert asdict(first) == asdict(second)
+
+    serial = chaos_summary_json(run_chaos(scenario, jobs=1))
+    parallel = chaos_summary_json(run_chaos(scenario, jobs=2))
+    assert serial == parallel
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("filename", OUTAGE_SCENARIOS)
+@pytest.mark.parametrize("seed", [31, 37, 41, 43])
+def test_outage_determinism_across_seeds(filename, seed):
+    # Nightly: the blast-radius accounting stays deterministic on
+    # re-seeded variants of every outage world (the strict-win tuning
+    # is seed-specific; bitwise reproducibility is not).
+    scenario = replace(outage(filename), seed=seed)
+    first = run_scenario(scenario, faulty=True)
+    second = run_scenario(scenario, faulty=True)
+    assert asdict(first) == asdict(second)

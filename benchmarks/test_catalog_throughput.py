@@ -1,0 +1,141 @@
+"""Catalog control-plane throughput: grouped shards vs naive per-object.
+
+The point of the sharded catalog is that control-plane cost scales
+with the number of *placement units*, not the number of keys: folding
+a 10k-key catalog into placement groups cuts the controller count —
+and with it the epoch clocks, summary streams and per-unit route
+derivations — by the grouping factor, while the batched data plane
+serves the same accesses either way.
+
+This benchmark drives the same Zipf workload over 10,000 keys twice on
+the batched engine: once through a 16-shard catalog with 200-key
+placement groups (50 units), and once through the naive per-object
+control loop the single-object pipeline would use (10,000 units, one
+epoch clock each).  Both arms share one controller configuration (a
+Figure-3-sized micro-cluster budget).  ``BENCH_catalog.json`` records
+both wall clocks; the acceptance floor is a 5x speedup for the grouped
+catalog.
+
+The grouped configuration is an instance of the family
+``tests/integration/test_catalog_equivalence.py`` proves equivalent to
+the per-object path in the degenerate case and invariant to shard
+count, so the speedup is an architecture change, not an accuracy
+trade.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.catalog import PlacementGroups, ShardedCatalog, keyspace
+from repro.net import LatencyMatrix
+from repro.sim import Simulator
+from repro.store import BatchedAccessWorkload, ReplicatedStore
+
+from conftest import print_result
+
+BENCH_OUT = pathlib.Path(__file__).parent / "BENCH_catalog.json"
+
+N_NODES = 64
+N_DC = 16
+SEED = 7
+N_KEYS = 10_000
+N_SHARDS = 16
+GROUP_SIZE = 200
+RATE_PER_SECOND = 1_000
+EPOCH_PERIOD_MS = 5_000.0
+HORIZON_MS = 31_000.0
+MAX_MICRO_CLUSTERS = 16
+
+
+def _world():
+    rng = np.random.default_rng(1234)
+    coords = rng.uniform(0, 100, size=(N_NODES, 2))
+    rtt = np.sqrt(((coords[:, None, :] - coords[None, :, :]) ** 2).sum(-1))
+    np.fill_diagonal(rtt, 0.0)
+    return LatencyMatrix((rtt + rtt.T) / 2), coords
+
+
+def _run_once(mode):
+    from repro.core import ControllerConfig
+    from repro.workloads import ClientPopulation
+
+    matrix, coords = _world()
+    sim = Simulator(seed=SEED)
+    store = ReplicatedStore(sim, matrix, list(range(N_DC)), coords,
+                            selection="oracle")
+    keys = keyspace(N_KEYS)
+    config = ControllerConfig(k=3, max_micro_clusters=MAX_MICRO_CLUSTERS)
+    start = time.perf_counter()
+    if mode == "grouped":
+        catalog = ShardedCatalog(
+            store, keys, n_shards=N_SHARDS,
+            groups=PlacementGroups.chunked(keys, GROUP_SIZE),
+            k=3, size_gb=0.1, controller_config=config,
+            epoch_period_ms=EPOCH_PERIOD_MS, epoch_stagger=1.0)
+        units = catalog.n_groups
+    else:
+        # The naive control loop: one unit, controller and epoch clock
+        # per key — what scaling the single-object pipeline by copy
+        # would look like.
+        for key in keys:
+            store.create_object(key, size_gb=0.1, k=3,
+                                controller_config=config,
+                                epoch_period_ms=EPOCH_PERIOD_MS)
+        units = N_KEYS
+    population = ClientPopulation.uniform(list(range(N_DC, N_NODES)))
+    workload = BatchedAccessWorkload(store, population, list(keys),
+                                     rate_per_second=RATE_PER_SECOND)
+    sim.run_until(HORIZON_MS)
+    wall_s = time.perf_counter() - start
+    epochs = sum(len(store.epoch_reports(u)) for u in store.unit_keys())
+    return {
+        "mode": mode,
+        "units": units,
+        "accesses": workload.operations_issued,
+        "epochs": epochs,
+        "wall_s": round(wall_s, 3),
+        "events_processed": sim.events_processed,
+    }
+
+
+def _run(mode, repeats=2):
+    # Best-of-N: single samples on a shared machine swing by +-50%; the
+    # minimum is the least-noisy estimator of the code's true cost.
+    runs = [_run_once(mode) for _ in range(repeats)]
+    return min(runs, key=lambda r: r["wall_s"])
+
+
+@pytest.mark.bench
+def test_catalog_throughput(capsys):
+    grouped = _run("grouped")
+    naive = _run("naive")
+    assert grouped["accesses"] == naive["accesses"] > 10_000
+    assert grouped["units"] == N_KEYS // GROUP_SIZE
+    assert grouped["epochs"] > 0
+    speedup = naive["wall_s"] / grouped["wall_s"]
+
+    doc = {
+        "benchmark": "catalog-throughput",
+        "setting": {"n_nodes": N_NODES, "n_dc": N_DC, "k": 3, "seed": SEED,
+                    "n_keys": N_KEYS, "n_shards": N_SHARDS,
+                    "group_size": GROUP_SIZE,
+                    "max_micro_clusters": MAX_MICRO_CLUSTERS,
+                    "rate_per_second": RATE_PER_SECOND,
+                    "epoch_period_ms": EPOCH_PERIOD_MS,
+                    "horizon_ms": HORIZON_MS,
+                    "workload": "uniform clients, Zipf keys, batched "
+                                "engine"},
+        "grouped": grouped,
+        "naive": naive,
+        "speedup": round(speedup, 2),
+    }
+    BENCH_OUT.write_text(json.dumps(doc, indent=2) + "\n")
+    print_result(capsys, json.dumps(doc, indent=2))
+
+    # Acceptance floor: 200x fewer placement units must buy at least a
+    # 5x end-to-end speedup on the same workload.
+    assert speedup >= 5.0, doc

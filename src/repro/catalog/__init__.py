@@ -1,0 +1,43 @@
+"""repro.catalog — a sharded multi-object catalog over the store.
+
+The paper places one object; this package scales the machinery to
+catalogs of thousands-to-millions of keys:
+
+* :mod:`repro.catalog.ring` — consistent-hash key-to-shard mapping
+  whose growth stability the property suite certifies;
+* :mod:`repro.catalog.groups` — folding similar-access keys into
+  placement groups (the paper's Section II-A "virtual object");
+* :mod:`repro.catalog.catalog` — :class:`ShardedCatalog`: per-shard
+  home coordinators (PR 3 failover), key-staggered epoch clocks and a
+  global migration budget;
+* :mod:`repro.catalog.sweep` — the ``repro catalog`` experiment grid.
+
+See ``docs/catalog.md``.
+"""
+
+from repro.catalog.catalog import CatalogShard, MigrationBudget, ShardedCatalog
+from repro.catalog.groups import PlacementGroups, build_groups, keyspace
+from repro.catalog.ring import DEFAULT_VNODES, HashRing
+from repro.catalog.sweep import (
+    CatalogRunSpec,
+    catalog_to_csv,
+    format_catalog,
+    run_catalog_cell,
+    run_catalog_sweep,
+)
+
+__all__ = [
+    "CatalogShard",
+    "MigrationBudget",
+    "ShardedCatalog",
+    "PlacementGroups",
+    "build_groups",
+    "keyspace",
+    "HashRing",
+    "DEFAULT_VNODES",
+    "CatalogRunSpec",
+    "run_catalog_cell",
+    "run_catalog_sweep",
+    "format_catalog",
+    "catalog_to_csv",
+]

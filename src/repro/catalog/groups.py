@@ -1,0 +1,189 @@
+"""Placement groups: folding similar-access objects into one unit.
+
+Section II-A: a placement solution "can be applied to a group of data
+objects by treating accesses to any object of the group as accesses to
+a virtual object that represents all the objects of the group."  The
+``examples/object_groups.py`` walkthrough shows the payoff — one
+controller, one summary stream and one migration decision per *group*
+instead of per key; this module makes the grouping a first-class
+catalog concept.
+
+A :class:`PlacementGroups` is a frozen partition of the catalog's keys
+into groups.  Naming rule: a **singleton** group is named after its only
+member, so a catalog built from singletons creates exactly the same
+placement units (same unit keys, same per-unit RNG streams) as calling
+``ReplicatedStore.create_object`` per key — that identity is what the
+degenerate-case differential test certifies.  Multi-member groups are
+named ``grp:<leader>`` after their lexicographically smallest member.
+
+:func:`build_groups` derives a partition from per-key access vectors
+(e.g. expected per-region demand) with deterministic greedy leader
+clustering on cosine similarity — keys are visited in sorted order, so
+the result is independent of input enumeration order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["PlacementGroups", "build_groups", "keyspace"]
+
+
+def keyspace(n: int, prefix: str = "obj") -> tuple[str, ...]:
+    """The canonical ``n``-key catalog keyspace (``obj-000000`` ...).
+
+    Zero-padded so lexicographic and numeric order agree — every
+    sorted-key canonicalization in the catalog then enumerates keys in
+    their natural order.
+    """
+    if n < 1:
+        raise ValueError("need at least one key")
+    width = max(6, len(str(n - 1)))
+    return tuple(f"{prefix}-{i:0{width}d}" for i in range(n))
+
+
+class PlacementGroups:
+    """An immutable partition of catalog keys into placement groups."""
+
+    def __init__(self, groups: Mapping[str, Sequence[str]]) -> None:
+        if not groups:
+            raise ValueError("need at least one group")
+        mapping: dict[str, tuple[str, ...]] = {}
+        owner: dict[str, str] = {}
+        for group_key, members in groups.items():
+            members = tuple(str(m) for m in members)
+            if not members:
+                raise ValueError(f"group {group_key!r} has no members")
+            if len(set(members)) != len(members):
+                raise ValueError(f"group {group_key!r} repeats a member")
+            for member in members:
+                if member in owner:
+                    raise ValueError(
+                        f"key {member!r} belongs to both "
+                        f"{owner[member]!r} and {group_key!r}")
+                owner[member] = str(group_key)
+            mapping[str(group_key)] = members
+        for group_key, members in mapping.items():
+            if len(members) == 1 and group_key != members[0]:
+                raise ValueError(
+                    f"singleton group {group_key!r} must be named after "
+                    f"its member {members[0]!r}")
+            if len(members) > 1 and group_key in owner and \
+                    owner[group_key] != group_key:
+                raise ValueError(
+                    f"group key {group_key!r} collides with a member of "
+                    f"{owner[group_key]!r}")
+        self._groups = mapping
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def singletons(cls, keys: Iterable[str]) -> "PlacementGroups":
+        """One group per key, named after the key (the degenerate case)."""
+        return cls({str(key): (str(key),) for key in keys})
+
+    @classmethod
+    def chunked(cls, keys: Sequence[str], size: int) -> "PlacementGroups":
+        """Consecutive runs of ``size`` sorted keys per group.
+
+        A cheap synthetic grouping (no access vectors needed): adjacent
+        keys in the canonical :func:`keyspace` order share a group.
+        """
+        if size < 1:
+            raise ValueError("chunk size must be positive")
+        ordered = sorted(str(key) for key in keys)
+        groups: dict[str, tuple[str, ...]] = {}
+        for start in range(0, len(ordered), size):
+            members = tuple(ordered[start:start + size])
+            name = members[0] if len(members) == 1 else f"grp:{members[0]}"
+            groups[name] = members
+        return cls(groups)
+
+    @classmethod
+    def explicit(cls, groups: Mapping[str, Sequence[str]]) -> "PlacementGroups":
+        """A caller-provided partition (validated)."""
+        return cls(groups)
+
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> dict[str, tuple[str, ...]]:
+        """``group key -> member keys`` (insertion order preserved)."""
+        return dict(self._groups)
+
+    @property
+    def group_keys(self) -> tuple[str, ...]:
+        """Group keys in sorted (canonical creation) order."""
+        return tuple(sorted(self._groups))
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """Every member key, sorted."""
+        return tuple(sorted(self._owner))
+
+    def members(self, group_key: str) -> tuple[str, ...]:
+        return self._groups[group_key]
+
+    def group_of(self, key: str) -> str:
+        return self._owner[key]
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def n_keys(self) -> int:
+        return len(self._owner)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PlacementGroups(n_groups={self.n_groups}, "
+                f"n_keys={self.n_keys})")
+
+
+def build_groups(vectors: Mapping[str, Sequence[float]],
+                 similarity: float = 0.95) -> PlacementGroups:
+    """Partition keys by access-vector similarity (greedy, deterministic).
+
+    ``vectors`` maps each key to its access vector — any fixed-length
+    demand profile (per-region request shares, per-client-cluster
+    weights, ...).  Keys are visited in sorted order; a key joins the
+    first existing group whose *leader* vector has cosine similarity
+    ``>= similarity``, else it founds a new group with itself as leader.
+    Leader (rather than centroid) comparison keeps membership
+    independent of arrival order within a group.
+
+    Keys with a zero vector (never accessed) stay singletons — there is
+    no evidence they share an audience with anything.
+    """
+    if not vectors:
+        raise ValueError("need at least one access vector")
+    if not 0.0 < similarity <= 1.0:
+        raise ValueError("similarity threshold must lie in (0, 1]")
+    ordered = sorted(vectors)
+    width = len(np.atleast_1d(np.asarray(vectors[ordered[0]], dtype=float)))
+    leaders: list[tuple[str, np.ndarray]] = []   # (leader key, unit vector)
+    membership: dict[str, list[str]] = {}
+    for key in ordered:
+        vector = np.atleast_1d(np.asarray(vectors[key], dtype=float))
+        if vector.shape != (width,):
+            raise ValueError(
+                f"access vector of {key!r} has shape {vector.shape}, "
+                f"expected ({width},)")
+        norm = float(np.linalg.norm(vector))
+        if norm == 0.0:
+            membership[key] = [key]
+            continue
+        unit = vector / norm
+        for leader_key, leader_unit in leaders:
+            if float(unit @ leader_unit) >= similarity:
+                membership[leader_key].append(key)
+                break
+        else:
+            leaders.append((key, unit))
+            membership[key] = [key]
+    groups = {
+        (leader if len(members) == 1 else f"grp:{leader}"): tuple(members)
+        for leader, members in membership.items()
+    }
+    return PlacementGroups(groups)

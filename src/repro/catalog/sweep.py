@@ -1,0 +1,260 @@
+"""Catalog sweeps: the control plane along the key-count axis.
+
+The paper evaluates one object at a time; real deployments place
+*catalogs* of objects.  :func:`run_catalog_sweep` drives the live stack
+(synthetic PlanetLab world, replicated store, Poisson workload) with a
+:class:`~repro.catalog.catalog.ShardedCatalog` over a grid of
+``(n_keys, n_shards)`` cells, answering the scaling questions the
+single-object sweeps cannot: how does end-to-end latency and
+control-plane work evolve as the keyspace grows, and how much does
+grouping similar keys into placement units buy?
+
+Cells run through :mod:`repro.runner.pool` — the same parallel /
+cached / resumable machinery as the figure sweeps — and seed every
+stream from the cell's identity, so a sweep is bit-identical at any
+``--jobs`` level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.runner.jobs import seed_sequence
+from repro.runner.pool import execute
+
+__all__ = ["CatalogRunSpec", "run_catalog_cell", "run_catalog_sweep",
+           "format_catalog", "catalog_to_csv", "GROUPING_MODES"]
+
+#: Stream tags mixed into seed_sequence keys (match the chaos harness,
+#: so a catalog cell and a chaos run with the same seed share a world).
+_CANDIDATES_STREAM = 101
+_EMBED_STREAM = 102
+
+#: How keys fold into placement units: every key its own unit, fixed
+#: chunks of the sorted keyspace, or similarity clustering over
+#: synthetic per-key audience vectors (exercises ``build_groups``).
+GROUPING_MODES = ("none", "chunked", "audience")
+
+
+@dataclass(frozen=True)
+class CatalogRunSpec:
+    """One catalog sweep cell: a keyspace size on a shard count.
+
+    Satisfies the runner's job protocol (``payload`` / ``execute`` /
+    ``kind`` / ``setting``) so catalog cells pool, cache and resume
+    exactly like every other experiment.
+    """
+
+    n_keys: int
+    n_shards: int
+    grouping: str = "chunked"
+    group_size: int = 10
+    n_nodes: int = 64
+    n_dc: int = 12
+    seed: int = 0
+    k: int = 3
+    rate_per_second: float = 200.0
+    duration_ms: float = 60_000.0
+    engine: str = "batched"
+    epoch_period_ms: float = 10_000.0
+    epoch_stagger: float = 1.0
+    max_epoch_moves: int | None = None
+
+    kind = "catalog-run"
+    setting = None                  # the spec carries its own world
+
+    def __post_init__(self) -> None:
+        if self.grouping not in GROUPING_MODES:
+            raise ValueError(f"unknown grouping {self.grouping!r}; "
+                             f"known: {GROUPING_MODES}")
+        if self.engine not in ("event", "batched"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+
+    def payload(self) -> dict:
+        payload = asdict(self)
+        payload["kind"] = self.kind
+        return payload
+
+    def execute(self, world=None) -> dict[str, Any]:
+        return run_catalog_cell(self)
+
+
+def _audience_vectors(keys: Sequence[str]) -> dict[str, np.ndarray]:
+    """Synthetic one-hot audience vectors: key -> one of 8 audiences.
+
+    The audience is key-derived (via the ring's stable hash), so the
+    clustering input — and hence the resulting groups — depends only on
+    the keyspace, never on enumeration order or shard layout.
+    """
+    from repro.catalog.ring import _hash64
+
+    vectors: dict[str, np.ndarray] = {}
+    for key in keys:
+        vec = np.zeros(8)
+        vec[_hash64(f"audience/{key}") % 8] = 1.0
+        vectors[key] = vec
+    return vectors
+
+
+def _build_groups(spec: CatalogRunSpec, keys: Sequence[str]):
+    from repro.catalog.groups import PlacementGroups, build_groups
+
+    if spec.grouping == "none":
+        return PlacementGroups.singletons(keys)
+    if spec.grouping == "chunked":
+        return PlacementGroups.chunked(keys, spec.group_size)
+    return build_groups(_audience_vectors(keys))
+
+
+def run_catalog_cell(spec: CatalogRunSpec) -> dict[str, Any]:
+    """Run one catalog cell end-to-end; return its counters.
+
+    The world derivation (matrix seed, embedding stream, candidate
+    stream, simulator seed) mirrors the chaos harness exactly, so the
+    same master seed reproduces the same world everywhere.
+    """
+    from repro.analysis.experiment import draw_candidates
+    from repro.catalog.catalog import ShardedCatalog
+    from repro.catalog.groups import keyspace
+    from repro.coords import embed_matrix
+    from repro.net import PlanetLabParams, synthetic_planetlab_matrix
+    from repro.sim import Simulator
+    from repro.store import ReplicatedStore
+    from repro.workloads import AccessWorkload, ClientPopulation
+
+    matrix, _ = synthetic_planetlab_matrix(
+        PlanetLabParams(n=spec.n_nodes), seed=spec.seed)
+    planar = embed_matrix(
+        matrix, rounds=40,
+        rng=np.random.default_rng(
+            seed_sequence(spec.seed, 0, _EMBED_STREAM)),
+    ).coords[:, :3]
+    candidates, clients = draw_candidates(
+        matrix, spec.n_dc,
+        np.random.default_rng(
+            seed_sequence(spec.seed, 0, _CANDIDATES_STREAM)))
+
+    sim_seed = int(seed_sequence(spec.seed, 0).generate_state(1)[0])
+    sim = Simulator(seed=sim_seed)
+    store = ReplicatedStore(sim, matrix, candidates, planar,
+                            selection="oracle")
+    keys = keyspace(spec.n_keys)
+    catalog = ShardedCatalog(
+        store, keys, n_shards=spec.n_shards,
+        groups=_build_groups(spec, keys), k=spec.k,
+        epoch_period_ms=spec.epoch_period_ms,
+        epoch_stagger=spec.epoch_stagger,
+        max_epoch_moves=spec.max_epoch_moves)
+
+    if spec.engine == "batched":
+        from repro.store.batched import BatchedAccessWorkload
+        workload_cls = BatchedAccessWorkload
+    else:
+        workload_cls = AccessWorkload
+    population = ClientPopulation.uniform(clients)
+    workload = workload_cls(store, population, list(catalog.keys()),
+                            rate_per_second=spec.rate_per_second)
+
+    sim.run_until(spec.duration_ms)
+
+    reads = [r for r in store.log.records if r.kind == "read"]
+    units = catalog.unit_keys()
+    return {
+        "n_keys": spec.n_keys,
+        "n_shards": spec.n_shards,
+        "grouping": spec.grouping,
+        "groups": catalog.n_groups,
+        "reads_issued": workload.operations_issued,
+        "reads_completed": len(reads),
+        "mean_delay_ms": (float(np.mean([r.delay_ms for r in reads]))
+                          if reads else 0.0),
+        "epochs": sum(shard.epochs for shard in catalog.shards),
+        "moves": sum(shard.moves for shard in catalog.shards),
+        "migrations": sum(store.controller(u).tally.migrations
+                          for u in units),
+        "failovers": sum(catalog.shard_failovers(s)
+                         for s in range(catalog.n_shards)),
+    }
+
+
+def run_catalog_sweep(keys_list: Sequence[int],
+                      shards_list: Sequence[int], *,
+                      grouping: str = "chunked",
+                      group_size: int = 10,
+                      n_nodes: int = 64, n_dc: int = 12,
+                      seed: int = 0, k: int = 3,
+                      rate_per_second: float = 200.0,
+                      duration_ms: float = 60_000.0,
+                      engine: str = "batched",
+                      epoch_period_ms: float = 10_000.0,
+                      epoch_stagger: float = 1.0,
+                      max_epoch_moves: int | None = None,
+                      jobs: int | None = 1,
+                      cache_dir: str | None = None,
+                      resume: bool = False) -> list[dict[str, Any]]:
+    """The ``(n_keys, n_shards)`` grid, through the parallel runner.
+
+    Rows come back in grid order (keys outer, shards inner),
+    bit-identical at any ``jobs`` level.
+    """
+    specs = [
+        CatalogRunSpec(
+            n_keys=n_keys, n_shards=n_shards, grouping=grouping,
+            group_size=group_size, n_nodes=n_nodes, n_dc=n_dc,
+            seed=seed, k=k, rate_per_second=rate_per_second,
+            duration_ms=duration_ms, engine=engine,
+            epoch_period_ms=epoch_period_ms,
+            epoch_stagger=epoch_stagger,
+            max_epoch_moves=max_epoch_moves)
+        for n_keys in keys_list
+        for n_shards in shards_list
+    ]
+    registry = obs.get_registry()
+    with registry.phase("catalog.sweep"):
+        rows = execute(specs, jobs=jobs, cache_dir=cache_dir,
+                       resume=resume)
+    if registry.enabled:
+        registry.counter("catalog.cells").inc(len(specs))
+    return rows
+
+
+_COLUMNS = (
+    ("keys", "n_keys"), ("shards", "n_shards"), ("groups", "groups"),
+    ("reads", "reads_completed"), ("mean delay (ms)", "mean_delay_ms"),
+    ("epochs", "epochs"), ("moves", "moves"), ("failovers", "failovers"),
+)
+
+
+def format_catalog(rows: Sequence[dict[str, Any]]) -> str:
+    """Human-readable table of a catalog sweep."""
+    header = " | ".join(f"{label:>15}" for label, _ in _COLUMNS)
+    lines = [f"catalog sweep ({len(rows)} cell(s), "
+             f"grouping={rows[0]['grouping']})" if rows else
+             "catalog sweep (0 cells)",
+             "", header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for _, field_name in _COLUMNS:
+            value = row[field_name]
+            cells.append(f"{value:>15.2f}" if isinstance(value, float)
+                         else f"{value:>15}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def catalog_to_csv(rows: Sequence[dict[str, Any]], path: str) -> None:
+    """Export sweep rows as CSV (stable column order)."""
+    import csv
+
+    fields = ["n_keys", "n_shards", "grouping", "groups", "reads_issued",
+              "reads_completed", "mean_delay_ms", "epochs", "moves",
+              "migrations", "failovers"]
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({name: row[name] for name in fields})

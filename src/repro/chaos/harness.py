@@ -106,10 +106,20 @@ class ChaosRunSpec:
 
 
 def _schedule_faults(injector, store, scenario: ChaosScenario,
-                     candidates: Sequence[int], domains=None) -> None:
-    """Translate candidate-position fault specs into injector calls."""
+                     candidates: Sequence[int], domains=None,
+                     unit_list: Sequence[str] = ("obj",),
+                     catalog=None) -> None:
+    """Translate candidate-position fault specs into injector calls.
+
+    ``unit_list`` names every placement unit in the run (a single
+    ``"obj"`` classically, the catalog's group keys in catalog mode);
+    coordinator- and density-targeted faults aim at whatever those
+    units' control planes look like when the fault fires.
+    """
     def node_of(position: int) -> int:
         return candidates[position]
+
+    ref_unit = unit_list[0]
 
     for fault in scenario.faults:
         if fault.kind == "crash":
@@ -136,11 +146,22 @@ def _schedule_faults(injector, store, scenario: ChaosScenario,
             # The victim is decided when the fault fires: whatever node
             # the failover protocol currently ranks first.
             def assassinate(until=fault.until) -> None:
-                victim = store.current_coordinator("obj")
+                victim = store.current_coordinator(ref_unit)
                 injector.crash_now(victim)
                 if until is not None:
                     injector.recover_at(until, victim)
             store.sim.schedule_at(fault.at, assassinate)
+        elif fault.kind == "crash-shard-coordinator":
+            # Catalog mode: kill whichever node currently coordinates
+            # the named shard's units — the shard's home while healthy,
+            # its elected successor after a prior failover.
+            def behead(shard=fault.shard, until=fault.until) -> None:
+                units = catalog.shards[shard].unit_keys
+                victim = store.current_coordinator(units[0])
+                injector.crash_now(victim)
+                if until is not None:
+                    injector.recover_at(until, victim)
+            store.sim.schedule_at(fault.at, behead)
         elif fault.kind == "domain-outage":
             mode, level, domain_id = _parse_domain_spec(fault.domain)
             if mode == "explicit":
@@ -156,7 +177,8 @@ def _schedule_faults(injector, store, scenario: ChaosScenario,
                 # (latency-only or λ-weighted) actually put the data.
                 def strike(level=level, until=fault.until) -> None:
                     positions = [store._position_of[s]
-                                 for s in store.installed_sites("obj")]
+                                 for unit in unit_list
+                                 for s in store.installed_sites(unit)]
                     for position in domains.densest_members(level,
                                                             positions):
                         node = node_of(position)
@@ -208,15 +230,45 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
         repair_period_ms=scenario.repair_period_ms,
         retry_policy=scenario.retry,
         domains=domains)
-    store.create_object(
-        "obj", k=scenario.k,
-        controller_config=ControllerConfig(
-            k=scenario.k, max_micro_clusters=scenario.max_micro_clusters,
-            availability_lambda=scenario.availability_lambda,
-            max_epoch_moves=scenario.max_epoch_moves),
-        policy=MigrationPolicy(min_relative_gain=scenario.min_relative_gain,
-                               min_absolute_gain_ms=0.5),
-        epoch_period_ms=scenario.epoch_period_ms)
+    policy = MigrationPolicy(min_relative_gain=scenario.min_relative_gain,
+                             min_absolute_gain_ms=0.5)
+    catalog = None
+    if scenario.n_keys > 0:
+        # Catalog mode: a sharded multi-key catalog replaces the single
+        # object.  ``max_epoch_moves`` becomes the catalog's *global*
+        # per-window budget, so it must not also cap each unit's
+        # controller individually.
+        from repro.catalog import PlacementGroups, ShardedCatalog, keyspace
+
+        keys = keyspace(scenario.n_keys)
+        groups = (PlacementGroups.chunked(keys, scenario.keys_per_group)
+                  if scenario.keys_per_group > 1
+                  else PlacementGroups.singletons(keys))
+        catalog = ShardedCatalog(
+            store, keys, n_shards=scenario.n_shards, groups=groups,
+            k=scenario.k,
+            controller_config=ControllerConfig(
+                k=scenario.k,
+                max_micro_clusters=scenario.max_micro_clusters,
+                availability_lambda=scenario.availability_lambda),
+            policy=policy,
+            epoch_period_ms=scenario.epoch_period_ms,
+            epoch_stagger=scenario.epoch_stagger,
+            max_epoch_moves=scenario.max_epoch_moves)
+        workload_keys = list(catalog.keys())
+        unit_list: tuple[str, ...] = catalog.unit_keys()
+    else:
+        store.create_object(
+            "obj", k=scenario.k,
+            controller_config=ControllerConfig(
+                k=scenario.k, max_micro_clusters=scenario.max_micro_clusters,
+                availability_lambda=scenario.availability_lambda,
+                max_epoch_moves=scenario.max_epoch_moves),
+            policy=policy,
+            epoch_period_ms=scenario.epoch_period_ms)
+        workload_keys = ["obj"]
+        unit_list = ("obj",)
+    ref_unit = unit_list[0]
     if scenario.engine == "batched":
         from repro.store.batched import BatchedAccessWorkload
         workload_cls = BatchedAccessWorkload
@@ -236,7 +288,7 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
         population = ClientPopulation(clients, weights)
     else:
         population = ClientPopulation.uniform(clients)
-    workload = workload_cls(store, population, ["obj"],
+    workload = workload_cls(store, population, workload_keys,
                             rate_per_second=scenario.rate_per_second)
 
     # Blast-radius accounting: every crash is scored against the
@@ -246,24 +298,26 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
     blast = {"lost": 0, "min_live": scenario.k}
 
     def note_crash(node: int) -> None:
-        installed = store.installed_sites("obj")
-        if node in installed:
-            blast["lost"] += 1
-        live = sum(1 for s in installed if store.network.is_up(s))
-        blast["min_live"] = min(blast["min_live"], live)
+        for unit in unit_list:
+            installed = store.installed_sites(unit)
+            if node in installed:
+                blast["lost"] += 1
+            live = sum(1 for s in installed if store.network.is_up(s))
+            blast["min_live"] = min(blast["min_live"], live)
 
     injector = FailureInjector(store.network, on_crash=note_crash)
     if faulty:
         _schedule_faults(injector, store, scenario, candidates,
-                         domains=domains)
+                         domains=domains, unit_list=unit_list,
+                         catalog=catalog)
 
     sim.run_until(scenario.duration_ms + scenario.settle_ms)
 
     reads = [r for r in store.log.records if r.kind == "read"]
     horizon = scenario.duration_ms + scenario.settle_ms
     tail = [r for r in reads if r.time >= 0.75 * horizon]
-    reports = store.epoch_reports("obj")
-    controller = store.controller("obj")
+    reports = [r for unit in unit_list for r in store.epoch_reports(unit)]
+    controllers = [store.controller(unit) for unit in unit_list]
     return ChaosRunResult(
         reads_issued=workload.operations_issued,
         reads_completed=len(reads),
@@ -274,13 +328,13 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
                         if tail else 0.0),
         crashes=len(injector.crashes()),
         partitions=len(injector.partitions()),
-        failovers=controller.failovers,
-        coordinator=store.current_coordinator("obj"),
+        failovers=sum(c.failovers for c in controllers),
+        coordinator=store.current_coordinator(ref_unit),
         epochs=len(reports),
         epochs_degraded=sum(1 for r in reports if r.degraded),
         stale_summaries_dropped=sum(r.stale_summaries_dropped
                                     for r in reports),
-        migrations=controller.tally.migrations,
+        migrations=sum(c.tally.migrations for c in controllers),
         migration_retries=store.migration_retries,
         migrations_abandoned=store.migrations_abandoned,
         migration_rollbacks=store.migration_rollbacks,
@@ -289,7 +343,7 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
         repairs=store.repairs,
         replicas_lost=blast["lost"],
         min_live_replicas=blast["min_live"],
-        final_sites=store.installed_sites("obj"),
+        final_sites=store.installed_sites(ref_unit),
     )
 
 

@@ -60,6 +60,25 @@ region → DC → rack failure-domain tree (:mod:`repro.net.domains`)::
     domain = "densest-rack"       # or "rack:3", "dc:0", "region:1"
     until = 45_000.0
 
+With a ``[catalog]`` section the run drives a sharded multi-key catalog
+(:mod:`repro.catalog`) instead of the classic single object::
+
+    [catalog]
+    n_keys = 200                  # > 0 enables catalog mode
+    n_shards = 4                  # consistent-hash ring shards
+    keys_per_group = 10           # fold consecutive keys into groups
+    epoch_stagger = 1.0           # spread per-unit epoch phases
+
+    [[faults]]
+    kind = "crash-shard-coordinator"
+    at = 20_000.0
+    shard = 1                     # kill shard 1's elected coordinator
+    until = 40_000.0
+
+In catalog mode ``max_epoch_moves`` (in ``[object]``) becomes the
+catalog's *global* per-window migration budget, drained across shards
+in epoch-firing order.
+
 ``availability_lambda`` (in ``[object]``) prices co-failure risk into
 the placement objective; ``hotspot_exponent`` / ``hotspot_anchor`` (in
 ``[workload]``) skew the client population toward one candidate so a
@@ -89,6 +108,7 @@ FAULT_KINDS: dict[str, tuple[str, ...]] = {
     "partition": ("group_a",),
     "flaky-link": ("a", "b", "loss"),
     "crash-coordinator": (),
+    "crash-shard-coordinator": ("shard",),
     "domain-outage": ("domain",),
 }
 
@@ -98,6 +118,7 @@ _OPTIONAL: dict[str, tuple[str, ...]] = {
     "partition": ("group_b", "until"),
     "flaky-link": ("symmetric", "until"),
     "crash-coordinator": ("until",),
+    "crash-shard-coordinator": ("until",),
     "domain-outage": ("until",),
 }
 
@@ -144,6 +165,7 @@ class FaultSpec:
     symmetric: bool = False
     until: float | None = None
     domain: str | None = None
+    shard: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -162,6 +184,12 @@ class FaultSpec:
                 raise ValueError("flaky-link fault needs 'a', 'b', 'loss'")
             if not 0.0 <= self.loss <= 1.0:
                 raise ValueError("link loss must lie in [0, 1]")
+        if self.kind == "crash-shard-coordinator":
+            if self.shard is None:
+                raise ValueError(
+                    "crash-shard-coordinator fault needs a 'shard'")
+            if self.shard < 0:
+                raise ValueError("fault shard must be non-negative")
         if self.kind == "domain-outage":
             if not self.domain:
                 raise ValueError("domain-outage fault needs a 'domain'")
@@ -187,6 +215,13 @@ class ChaosScenario:
     min_relative_gain: float = 0.02
     availability_lambda: float = 0.0
     max_epoch_moves: int | None = None
+    # Sharded catalog ([catalog] section; n_keys == 0 keeps the classic
+    # single-object scenario).  ``max_epoch_moves`` becomes the catalog's
+    # *global* per-window migration budget in catalog mode.
+    n_keys: int = 0
+    n_shards: int = 1
+    keys_per_group: int = 1
+    epoch_stagger: float = 0.0
     # Failure domains (regions == 0 disables the model)
     regions: int = 0
     dcs_per_region: int = 1
@@ -247,6 +282,14 @@ class ChaosScenario:
                              "section with regions > 0")
         if self.max_epoch_moves is not None and self.max_epoch_moves < 1:
             raise ValueError("max_epoch_moves must be at least 1")
+        if self.n_keys < 0:
+            raise ValueError("n_keys must be non-negative")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if self.keys_per_group < 1:
+            raise ValueError("keys_per_group must be at least 1")
+        if not 0.0 <= self.epoch_stagger <= 1.0:
+            raise ValueError("epoch_stagger must lie in [0, 1]")
         if self.hotspot_exponent < 0:
             raise ValueError("hotspot_exponent must be non-negative")
         if not 0 <= self.hotspot_anchor < self.n_dc:
@@ -262,6 +305,15 @@ class ChaosScenario:
             if fault.at >= horizon:
                 raise ValueError(f"fault at {fault.at} ms lies beyond the "
                                  f"run horizon {horizon} ms")
+            if fault.kind == "crash-shard-coordinator":
+                if self.n_keys == 0:
+                    raise ValueError(
+                        "crash-shard-coordinator faults need a [catalog] "
+                        "section with n_keys > 0")
+                if fault.shard >= self.n_shards:
+                    raise ValueError(
+                        f"fault references shard {fault.shard}, but the "
+                        f"scenario has {self.n_shards} shards")
             if fault.kind == "domain-outage":
                 if self.regions == 0:
                     raise ValueError("domain-outage faults need a [domains] "
@@ -336,7 +388,8 @@ def _parse_scenario(payload: dict, source: str) -> ChaosScenario:
             flat[key] = payload[key]
     # The nested tables are flat namespaces over ChaosScenario fields.
     scenario_fields = {f.name for f in fields(ChaosScenario)}
-    for section in ("world", "object", "workload", "store", "domains"):
+    for section in ("world", "object", "workload", "store", "domains",
+                    "catalog"):
         table = payload.get(section, {})
         unknown = sorted(set(table) - scenario_fields)
         if unknown:
@@ -354,8 +407,8 @@ def _parse_scenario(payload: dict, source: str) -> ChaosScenario:
     flat["faults"] = tuple(_parse_fault(entry, i, source)
                            for i, entry in enumerate(faults))
     stray = sorted(set(payload) - {"name", "seed", "runs", "world", "object",
-                                   "workload", "store", "domains", "retry",
-                                   "faults"})
+                                   "workload", "store", "domains", "catalog",
+                                   "retry", "faults"})
     if stray:
         raise ValueError(f"{source}: unknown top-level entries {stray}")
     return ChaosScenario(**flat)

@@ -9,6 +9,7 @@ Usage::
     python -m repro coords  [options]      # coordinate-system ablation
     python -m repro sweep SPEC [options]   # declarative sweep (JSON/TOML)
     python -m repro chaos SCENARIO [opts]  # chaos run (faults vs baseline)
+    python -m repro catalog [options]      # sharded multi-key catalog sweep
     python -m repro report  --out FILE     # full Markdown reproduction report
     python -m repro matrix  --out FILE     # dump the synthetic RTT matrix
 
@@ -216,6 +217,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.catalog import catalog_to_csv, format_catalog, run_catalog_sweep
+
+    rows = run_catalog_sweep(
+        args.keys, args.shards, grouping=args.grouping,
+        group_size=args.group_size, n_nodes=args.nodes, n_dc=args.dc,
+        seed=args.seed, k=args.k, rate_per_second=args.rate,
+        duration_ms=args.duration_ms, engine=args.engine,
+        epoch_period_ms=args.epoch_period_ms,
+        epoch_stagger=args.epoch_stagger,
+        max_epoch_moves=args.max_epoch_moves,
+        **_runner_kwargs(args))
+    print(format_catalog(rows))
+    if args.csv:
+        catalog_to_csv(rows, args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
 def _cmd_matrix(args: argparse.Namespace) -> int:
     matrix, topology = synthetic_planetlab_matrix(
         PlanetLabParams(n=args.nodes), seed=args.seed)
@@ -295,6 +315,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_arg(pz)
     _add_runner_args(pz)
     pz.set_defaults(func=_cmd_chaos)
+
+    pg = sub.add_parser("catalog",
+                        help="sweep a sharded multi-key catalog over "
+                             "keyspace and shard-count grids")
+    pg.add_argument("--keys", type=int, nargs="+", default=[100, 1_000],
+                    metavar="N", help="keyspace sizes to sweep")
+    pg.add_argument("--shards", type=int, nargs="+", default=[1, 4, 16],
+                    metavar="N", help="shard counts to sweep")
+    pg.add_argument("--grouping", default="chunked",
+                    choices=("none", "chunked", "audience"),
+                    help="how keys fold into placement groups")
+    pg.add_argument("--group-size", type=int, default=10,
+                    help="keys per group for --grouping chunked")
+    pg.add_argument("--nodes", type=int, default=64,
+                    help="emulated nodes in the synthetic world")
+    pg.add_argument("--dc", type=int, default=12,
+                    help="candidate data centers")
+    pg.add_argument("--seed", type=int, default=0, help="master seed")
+    pg.add_argument("--k", type=int, default=3, help="degree of replication")
+    pg.add_argument("--rate", type=float, default=200.0,
+                    help="aggregate request rate (per second)")
+    pg.add_argument("--duration-ms", type=float, default=60_000.0,
+                    help="simulated horizon per cell")
+    pg.add_argument("--engine", default="batched",
+                    choices=("event", "batched"),
+                    help="data-plane engine (batched scales to large "
+                         "keyspaces)")
+    pg.add_argument("--epoch-period-ms", type=float, default=10_000.0,
+                    help="placement epoch period per unit")
+    pg.add_argument("--epoch-stagger", type=float, default=1.0,
+                    help="fraction of the period over which per-unit "
+                         "epoch phases spread (0..1)")
+    pg.add_argument("--max-epoch-moves", type=int, default=None,
+                    metavar="N",
+                    help="global per-window migration budget across "
+                         "all shards")
+    pg.add_argument("--csv", default=None, metavar="FILE",
+                    help="also export the rows as CSV")
+    _add_metrics_arg(pg)
+    _add_runner_args(pg)
+    pg.set_defaults(func=_cmd_catalog)
 
     pm = sub.add_parser("matrix", help="dump the synthetic RTT matrix")
     pm.add_argument("--nodes", type=int, default=226)

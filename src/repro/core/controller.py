@@ -328,7 +328,8 @@ class ReplicationController:
     def run_epoch(self, rng: np.random.Generator | None = None, *,
                   reachable: Sequence[int] | None = None,
                   eligible: Sequence[int] | None = None,
-                  lease: int | None = None) -> EpochReport:
+                  lease: int | None = None,
+                  max_moves: int | None = None) -> EpochReport:
         """Collect summaries, run Algorithm 1, migrate if justified.
 
         Parameters
@@ -352,6 +353,13 @@ class ReplicationController:
             older than the controller's current lease identifies a
             stale coordinator re-entering after a failover; its epoch
             is rejected without touching any state.
+        max_moves:
+            One-epoch override of ``config.max_epoch_moves`` — a
+            sharded catalog passes what is left of a *global* migration
+            budget here.  ``0`` (an exhausted budget) forbids adopting
+            any new site this epoch while still allowing shrinks, which
+            transfer nothing.  ``None`` (the default) defers to the
+            static configuration.
         """
         registry = obs.get_registry()
         if lease is not None and lease < self.lease:
@@ -498,7 +506,9 @@ class ReplicationController:
 
         lam = self.config.availability_lambda
         refining = lam > 0.0 and self.domains is not None
-        if refining or self.config.max_epoch_moves is not None:
+        cap = (self.config.max_epoch_moves if max_moves is None
+               else max(int(max_moves), 0))
+        if refining or cap is not None:
             if self.config.write_aware:
                 def predicted_delay_of(positions: list[int]) -> float:
                     return float(estimate_rw_cost(
@@ -523,13 +533,22 @@ class ReplicationController:
             if tuple(refined) != proposed_sites:
                 proposed_sites = tuple(int(p) for p in refined)
                 proposed_delay = predicted_delay_of(list(proposed_sites))
-        if self.config.max_epoch_moves is not None:
-            trimmed = bound_transfers(previous_sites, list(proposed_sites),
-                                      self.config.max_epoch_moves,
-                                      combined_objective)
-            if tuple(trimmed) != proposed_sites:
-                proposed_sites = tuple(int(p) for p in trimmed)
-                proposed_delay = predicted_delay_of(list(proposed_sites))
+        if cap is not None:
+            if cap < 1:
+                # Exhausted budget: no new sites may be adopted at all.
+                # ``bound_transfers`` cannot express a zero cap, so the
+                # proposal collapses to the current placement unless it
+                # is a pure shrink/reorder (which transfers nothing).
+                if set(proposed_sites) - set(previous_sites):
+                    proposed_sites = tuple(previous_sites)
+                    proposed_delay = predicted_delay_of(list(proposed_sites))
+            else:
+                trimmed = bound_transfers(previous_sites,
+                                          list(proposed_sites),
+                                          cap, combined_objective)
+                if tuple(trimmed) != proposed_sites:
+                    proposed_sites = tuple(int(p) for p in trimmed)
+                    proposed_delay = predicted_delay_of(list(proposed_sites))
         self.tally.clustering_seconds += time.perf_counter() - started
         if len(proposed_sites) < len(previous_sites):
             # Shedding replicas can never *reduce* delay, so the latency

@@ -129,6 +129,12 @@ class BatchedAccessEngine:
         self._cacheable = (store.selection == "oracle"
                            or not hasattr(store._coords, "planar_coords"))
         self._info_cache: dict[tuple[int, str], _GroupInfo | None] = {}
+        # Unit-level route cache: every member key of a placement unit
+        # shares the unit's targets, per-leg delays and positions, so a
+        # catalog that folds many keys into one group derives the
+        # routing work once per (client, unit) instead of once per
+        # (client, key).  Same validity stamp as the info cache.
+        self._route_cache: dict[tuple[int, str], tuple | None] = {}
         self._cache_stamp: tuple[int, int] | None = None
         store.enable_fold_buffering()
         store.sim.attach_data_plane(self)
@@ -360,6 +366,7 @@ class BatchedAccessEngine:
         stamp = (self.store._state_version, self.store.network.state_epoch)
         if stamp != self._cache_stamp:
             self._info_cache.clear()
+            self._route_cache.clear()
             self._cache_stamp = stamp
         cached = self._info_cache.get((client, key), self._MISS)
         if cached is not self._MISS:
@@ -370,41 +377,86 @@ class BatchedAccessEngine:
 
     def _derive_group_info(self, client: int, key: str) -> _GroupInfo | None:
         store = self.store
+        try:
+            unit = store._unit_of_key(key)
+        except KeyError:
+            return None
+        obj = unit.members.get(key)
+        if obj is None:
+            return None  # a group key is not itself readable
+        route = self._unit_route(client, unit)
+        if route is None:
+            return None
+        targets, d1, d2_base, rtt_back, positions = route
+        versions = np.empty(len(targets), dtype=int)
+        for j, server in enumerate(targets):
+            replicas = store.servers[server].replicas
+            if key not in replicas:
+                return None
+            versions[j] = replicas[key]
+        bandwidth = store.network.bandwidth
+        if bandwidth is not None:
+            # The reply leg's serialization time is the only per-key
+            # part of the delays (it scales with the member's payload).
+            d2 = d2_base + np.array([
+                bandwidth.transfer_ms(rtt, obj.read_size_bytes)
+                for rtt in rtt_back])
+        else:
+            d2 = d2_base
+        return _GroupInfo(
+            client=client, key=key, targets=targets, d1=d1, d2=d2,
+            versions=versions, vmax=int(versions.max()),
+            latest=unit.latest[key],
+            read_size=obj.read_size_bytes,
+            positions=positions, unit=unit)
+
+    def _unit_route(self, client: int, unit) -> tuple | None:
+        """The unit-level half of :meth:`_derive_group_info`, cached.
+
+        Returns ``(targets, d1, d2_base, rtt_back, positions)`` — the
+        quorum route, per-leg request delays (bandwidth included), reply
+        propagation delays *without* the per-key serialization term, the
+        reply-leg RTTs that term needs, and candidate positions — or
+        ``None`` when any leg cannot be proven clean.  Everything here
+        depends only on the placement unit, so member keys of one group
+        share a single derivation per (client, unit) and stamp.
+        """
+        if self._cacheable:
+            cached = self._route_cache.get((client, unit.unit_key),
+                                           self._MISS)
+            if cached is not self._MISS:
+                return cached
+        route = self._derive_unit_route(client, unit)
+        if self._cacheable:
+            self._route_cache[(client, unit.unit_key)] = route
+        return route
+
+    def _derive_unit_route(self, client: int, unit) -> tuple | None:
+        store = self.store
         net = store.network
         try:
-            targets = store.route_read(client, key)
-            obj = store.object(key)
+            targets = store.route_read(client, unit.unit_key)
         except (QuorumError, KeyError):
             return None
         if not net.is_up(client):
             return None
         d1 = np.empty(len(targets))
         d2 = np.empty(len(targets))
-        versions = np.empty(len(targets), dtype=int)
+        rtt_back = np.empty(len(targets))
         for j, server in enumerate(targets):
-            replicas = store.servers[server].replicas
-            if (key not in replicas or not net.is_up(server)
+            if (not net.is_up(server)
                     or not net.link_reliable(client, server)
                     or not net.link_reliable(server, client)):
                 return None
             delay1 = net.matrix.one_way(client, server)
-            delay2 = net.matrix.one_way(server, client)
             if net.bandwidth is not None:
                 delay1 += net.bandwidth.transfer_ms(
                     net.matrix.latency(client, server), REQUEST_BYTES)
-                delay2 += net.bandwidth.transfer_ms(
-                    net.matrix.latency(server, client), obj.read_size_bytes)
             d1[j] = delay1
-            d2[j] = delay2
-            versions[j] = replicas[key]
-        unit = store._unit_of_key(key)
-        return _GroupInfo(
-            client=client, key=key, targets=tuple(targets), d1=d1, d2=d2,
-            versions=versions, vmax=int(versions.max()),
-            latest=store.latest_version(key),
-            read_size=obj.read_size_bytes,
-            positions=tuple(store._position_of[s] for s in targets),
-            unit=unit)
+            d2[j] = net.matrix.one_way(server, client)
+            rtt_back[j] = net.matrix.latency(server, client)
+        return (tuple(targets), d1, d2, rtt_back,
+                tuple(store._position_of[s] for s in targets))
 
 
 class BatchedAccessWorkload:

@@ -15,6 +15,7 @@ workloads:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["ConsistencyConfig", "QuorumError"]
@@ -48,7 +49,23 @@ class ConsistencyConfig:
     propagation_delay_ms: float = 0.0
 
     def __post_init__(self) -> None:
+        # Full construction-time validation: the config is consulted on
+        # every read and write, so a bad value (``NaN`` slips past both
+        # plain comparisons below) would corrupt runs silently instead
+        # of failing here.
+        if isinstance(self.read_quorum, bool) or \
+                not isinstance(self.read_quorum, int):
+            raise ValueError("read quorum must be an integer")
         if self.read_quorum < 1:
             raise ValueError("read quorum must be at least 1")
-        if self.propagation_delay_ms < 0:
+        if not isinstance(self.propagate_updates, bool):
+            raise ValueError("propagate_updates must be a boolean")
+        delay = self.propagation_delay_ms
+        if isinstance(delay, bool) or not isinstance(delay, (int, float)):
+            raise ValueError("propagation delay must be a number")
+        if math.isnan(delay):
+            raise ValueError("propagation delay must not be NaN")
+        if math.isinf(delay):
+            raise ValueError("propagation delay must be finite")
+        if delay < 0:
             raise ValueError("propagation delay must be non-negative")

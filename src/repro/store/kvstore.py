@@ -405,6 +405,10 @@ class _PlacementUnit:
     latest: dict[str, int] = field(default_factory=dict)
     epoch_process: PeriodicProcess | None = None
     epoch_reports: list[EpochReport] = field(default_factory=list)
+    #: Per-unit default coordinator (a sharded catalog homes each shard's
+    #: units on that shard's coordinator); ``None`` falls back to the
+    #: store-wide default (the first candidate).
+    home: int | None = None
     #: Retry bookkeeping (only populated when a RetryPolicy is set).
     pending_transfers: dict[int, _PendingShipment] = field(default_factory=dict)
     pending_summaries: dict[int, _PendingShipment] = field(default_factory=dict)
@@ -570,18 +574,22 @@ class ReplicatedStore:
                       controller_config: ControllerConfig | None = None,
                       cost_model: MigrationCostModel | None = None,
                       policy: MigrationPolicy | None = None,
-                      epoch_period_ms: float | None = None) -> DataObject:
+                      epoch_period_ms: float | None = None,
+                      home_coordinator: int | None = None) -> DataObject:
         """Create and place a single replicated object.
 
         ``initial_sites`` (node ids drawn from the candidates) defaults
         to ``k`` random candidates — the uninformed starting point from
         which the controller gradually migrates.  With
         ``epoch_period_ms`` set, a placement epoch runs periodically.
+        ``home_coordinator`` pins the unit's default coordinator to a
+        specific candidate (sharded catalogs home each shard's units on
+        one node); ``None`` uses the store-wide default.
         """
         obj = DataObject(key, size_gb, read_size_bytes=read_size_bytes)
         self._create_unit(key, {key: obj}, initial_sites, k,
                           controller_config, cost_model, policy,
-                          epoch_period_ms)
+                          epoch_period_ms, home_coordinator)
         return obj
 
     def create_group(self, group_key: str,
@@ -591,7 +599,8 @@ class ReplicatedStore:
                      controller_config: ControllerConfig | None = None,
                      cost_model: MigrationCostModel | None = None,
                      policy: MigrationPolicy | None = None,
-                     epoch_period_ms: float | None = None
+                     epoch_period_ms: float | None = None,
+                     home_coordinator: int | None = None
                      ) -> list[DataObject]:
         """Create a *group* of objects placed as one virtual object.
 
@@ -619,7 +628,7 @@ class ReplicatedStore:
         }
         self._create_unit(group_key, objects, initial_sites, k,
                           controller_config, cost_model, policy,
-                          epoch_period_ms)
+                          epoch_period_ms, home_coordinator)
         return list(objects.values())
 
     def _create_unit(self, unit_key: str, members: dict[str, DataObject],
@@ -627,7 +636,8 @@ class ReplicatedStore:
                      controller_config: ControllerConfig | None,
                      cost_model: MigrationCostModel | None,
                      policy: MigrationPolicy | None,
-                     epoch_period_ms: float | None) -> _PlacementUnit:
+                     epoch_period_ms: float | None,
+                     home_coordinator: int | None = None) -> _PlacementUnit:
         if unit_key in self._units or unit_key in self._unit_of:
             raise ValueError(f"unit {unit_key!r} already exists")
         for key in members:
@@ -644,6 +654,9 @@ class ReplicatedStore:
         for s in initial_sites:
             if s not in self.servers:
                 raise ValueError(f"initial site {s} is not a candidate")
+        if home_coordinator is not None and home_coordinator not in self.servers:
+            raise ValueError(
+                f"home coordinator {home_coordinator} is not a candidate")
 
         total_gb = sum(obj.size_gb for obj in members.values())
         config = controller_config or ControllerConfig(k=len(initial_sites))
@@ -660,7 +673,8 @@ class ReplicatedStore:
         unit = _PlacementUnit(unit_key=unit_key, members=members,
                               controller=controller,
                               installed=set(initial_sites),
-                              latest={key: 0 for key in members})
+                              latest={key: 0 for key in members},
+                              home=home_coordinator)
         self._units[unit_key] = unit
         for key in members:
             self._unit_of[key] = unit_key
@@ -712,6 +726,23 @@ class ReplicatedStore:
     def group_members(self, unit_key: str) -> tuple[str, ...]:
         """Member keys of a unit (a single object is its own member)."""
         return tuple(self._unit_of_key(unit_key).members)
+
+    def unit_keys(self) -> tuple[str, ...]:
+        """All placement-unit keys, in creation order."""
+        return tuple(self._units)
+
+    def adopt_epoch_process(self, unit_key: str,
+                            process: PeriodicProcess) -> None:
+        """Register an externally owned epoch clock with a unit.
+
+        A sharded catalog schedules its own (staggered, budget-aware)
+        epoch processes; registering them here lets :meth:`delete` stop
+        the clock together with the unit.
+        """
+        unit = self._unit(unit_key)
+        if unit.epoch_process is not None:
+            raise ValueError(f"unit {unit_key!r} already has an epoch clock")
+        unit.epoch_process = process
 
     def installed_sites(self, key: str) -> tuple[int, ...]:
         """Node ids currently serving reads for ``key``."""
@@ -868,17 +899,18 @@ class ReplicatedStore:
     def current_coordinator(self, key: str) -> int:
         """The node id that would coordinate ``key``'s next epoch.
 
-        Deterministic successor ranking: the default coordinator (the
-        first candidate) while it is viable, then the unit's replica
-        holders in sorted order, then the remaining candidates.  A
-        candidate is viable when it is up and at least one live replica
-        holder can ship summaries to it.  With every candidate down the
-        default coordinator is returned (the epoch then degrades to "no
-        reachable summaries").
+        Deterministic successor ranking: the unit's default coordinator
+        (its home, or the store-wide first candidate) while it is
+        viable, then the unit's replica holders in sorted order, then
+        the remaining candidates.  A candidate is viable when it is up
+        and at least one live replica holder can ship summaries to it.
+        With every candidate down the default coordinator is returned
+        (the epoch then degrades to "no reachable summaries").
         """
         unit = self._unit_of_key(key)
+        default = unit.home if unit.home is not None else self.coordinator
         ranking = list(dict.fromkeys(
-            [self.coordinator] + sorted(unit.installed)
+            [default] + sorted(unit.installed)
             + list(self.candidates)))
         live_holders = [s for s in sorted(unit.installed)
                         if self.network.is_up(s)]
@@ -888,18 +920,25 @@ class ReplicatedStore:
             if site in live_holders or any(
                     self.network.can_reach(h, site) for h in live_holders):
                 return site
-        return self.coordinator
+        return default
 
     # ------------------------------------------------------------------
     # Placement epochs and migration
     # ------------------------------------------------------------------
-    def run_epoch(self, unit_key: str) -> EpochReport:
+    def run_epoch(self, unit_key: str,
+                  max_moves: int | None = None) -> EpochReport:
         """Run one placement epoch for a unit (Algorithm 1 + policy).
 
         The epoch runs at the elected coordinator: only summaries from
         replica sites that can currently reach it are pooled, and only
         candidates it can reach are eligible migration targets — a
         partition degrades the epoch instead of corrupting it.
+
+        ``max_moves`` overrides the controller's ``max_epoch_moves``
+        for this one epoch — a sharded catalog passes the remaining
+        global migration budget here, ``0`` meaning "no new sites this
+        epoch" (shrinks still go through).  ``None`` keeps the
+        controller's own configuration.
         """
         unit = self._unit_of_key(unit_key)
         self._flush_folds(unit)  # the epoch pools the summaries next
@@ -917,7 +956,8 @@ class ReplicatedStore:
         with registry.phase("store.epoch"):
             report = unit.controller.run_epoch(
                 self.sim.rng(f"epoch-{unit.unit_key}"),
-                reachable=reachable, eligible=eligible, lease=lease)
+                reachable=reachable, eligible=eligible, lease=lease,
+                max_moves=max_moves)
         if registry.enabled:
             registry.counter("store.epochs").inc()
         unit.epoch_reports.append(report)

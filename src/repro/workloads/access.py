@@ -116,7 +116,12 @@ def generate_trace(population: ClientPopulation, keys: Sequence[str],
     if not keys:
         raise ValueError("at least one object key required")
     pattern = pattern or ConstantPattern()
-    popularity = popularity or ZipfObjectPopularity(tuple(keys))
+    # Default popularity ranks keys in *sorted* order, not enumeration
+    # order: the same seed then yields a byte-identical trace no matter
+    # how the caller enumerates the keyspace (a dict's insertion order,
+    # a catalog's shard order, ...).  An explicit ``popularity`` keeps
+    # whatever ranking the caller built.
+    popularity = popularity or ZipfObjectPopularity(tuple(sorted(keys)))
 
     events: list[AccessEvent] = []
     mean_gap_ms = 1000.0 / rate_per_second
@@ -150,14 +155,29 @@ def save_trace(events: Sequence[AccessEvent], path: str) -> None:
 
 
 def load_trace(path: str) -> list[AccessEvent]:
-    """Load a JSON-lines trace written by :func:`save_trace`."""
+    """Load a JSON-lines trace written by :func:`save_trace`.
+
+    Malformed input — a line that is not valid JSON (e.g. a truncated
+    final line from an interrupted writer), a non-object line, missing
+    or mistyped fields, an unknown kind — raises :class:`ValueError`
+    naming the offending line number.
+    """
     events: list[AccessEvent] = []
     with open(path) as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"bad trace record on line {line_number}: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"bad trace record on line {line_number}: expected an "
+                    f"object, got {type(record).__name__}")
             try:
                 event = AccessEvent(float(record["time_ms"]),
                                     int(record["client"]),

@@ -1,0 +1,123 @@
+"""Unit tests for placement groups and the canonical keyspace."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import PlacementGroups, build_groups, keyspace
+
+
+class TestKeyspace:
+    def test_padded_and_sorted(self):
+        keys = keyspace(12)
+        assert keys[0] == "obj-000000"
+        assert keys[-1] == "obj-000011"
+        assert list(keys) == sorted(keys)
+
+    def test_wide_keyspaces_stay_sorted(self):
+        keys = keyspace(3, prefix="blob")
+        assert keys == ("blob-000000", "blob-000001", "blob-000002")
+        big = keyspace(10_000_000)
+        assert len(big[0]) == len(big[-1])  # width grows past 6 digits
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one key"):
+            keyspace(0)
+
+
+class TestPlacementGroups:
+    def test_singletons(self):
+        groups = PlacementGroups.singletons(["b", "a"])
+        assert groups.n_groups == 2
+        assert groups.n_keys == 2
+        assert groups.group_keys == ("a", "b")
+        assert groups.members("a") == ("a",)
+        assert groups.group_of("b") == "b"
+
+    def test_chunked(self):
+        keys = keyspace(7)
+        groups = PlacementGroups.chunked(keys, 3)
+        assert groups.n_groups == 3
+        assert groups.members("grp:obj-000000") == keys[:3]
+        assert groups.members("grp:obj-000003") == keys[3:6]
+        # The trailing chunk is a singleton, so it is named after its key.
+        assert groups.members("obj-000006") == (keys[6],)
+        assert set(groups.keys) == set(keys)
+
+    def test_chunked_sorts_its_input(self):
+        keys = keyspace(6)
+        forward = PlacementGroups.chunked(keys, 2)
+        backward = PlacementGroups.chunked(list(reversed(keys)), 2)
+        assert forward.groups == backward.groups
+
+    def test_explicit_and_accessors(self):
+        groups = PlacementGroups.explicit(
+            {"grp:a": ("a", "b"), "c": ("c",)})
+        assert groups.group_of("b") == "grp:a"
+        assert groups.keys == ("a", "b", "c")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one group"):
+            PlacementGroups({})
+        with pytest.raises(ValueError, match="no members"):
+            PlacementGroups({"g": ()})
+        with pytest.raises(ValueError, match="repeats"):
+            PlacementGroups({"g": ("a", "a")})
+        with pytest.raises(ValueError, match="belongs to both"):
+            PlacementGroups({"grp:a": ("a", "b"), "grp:b2": ("b", "c")})
+        with pytest.raises(ValueError, match="chunk size"):
+            PlacementGroups.chunked(["a"], 0)
+
+    def test_singleton_naming_rule_enforced(self):
+        # The degenerate bitwise identity depends on singleton groups
+        # creating units keyed by the member itself.
+        with pytest.raises(ValueError, match="named after"):
+            PlacementGroups({"g": ("a",)})
+
+    def test_group_key_must_not_shadow_another_member(self):
+        # A multi-member group named like another group's member would
+        # make ``group_of`` ambiguous with the unit keyspace.
+        with pytest.raises(ValueError, match="collides"):
+            PlacementGroups({"grp:a": ("a", "b"), "b": ("c", "d")})
+
+
+class TestBuildGroups:
+    def test_identical_vectors_group_together(self):
+        vectors = {
+            "a": [1.0, 0.0],
+            "b": [2.0, 0.0],        # same direction as a
+            "c": [0.0, 1.0],
+        }
+        groups = build_groups(vectors)
+        assert groups.group_of("a") == "grp:a"
+        assert groups.group_of("b") == "grp:a"
+        assert groups.group_of("c") == "c"
+
+    def test_zero_vector_stays_singleton(self):
+        groups = build_groups({"a": [1.0, 0.0], "z": [0.0, 0.0]})
+        assert groups.members("z") == ("z",)
+
+    def test_enumeration_order_irrelevant(self):
+        vectors = {f"k{i}": [float(i % 3 == 0), float(i % 3 == 1),
+                             float(i % 3 == 2)] for i in range(9)}
+        forward = build_groups(dict(sorted(vectors.items())))
+        backward = build_groups(dict(sorted(vectors.items(),
+                                            reverse=True)))
+        assert forward.groups == backward.groups
+
+    def test_similarity_threshold_splits(self):
+        a = np.array([1.0, 0.0])
+        tilted = np.array([1.0, 0.5]) / np.linalg.norm([1.0, 0.5])
+        cos = float(a @ tilted)
+        vectors = {"a": a.tolist(), "b": tilted.tolist()}
+        merged = build_groups(vectors, similarity=cos - 0.01)
+        split = build_groups(vectors, similarity=cos + 0.01)
+        assert merged.n_groups == 1
+        assert split.n_groups == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_groups({})
+        with pytest.raises(ValueError, match="similarity"):
+            build_groups({"a": [1.0]}, similarity=0.0)
+        with pytest.raises(ValueError, match="shape"):
+            build_groups({"a": [1.0, 0.0], "b": [1.0]})

@@ -1,0 +1,73 @@
+"""Unit tests for the catalog's consistent-hash ring."""
+
+import pytest
+
+from repro.catalog import DEFAULT_VNODES, HashRing, keyspace
+from repro.catalog.ring import _SPACE, _hash64
+
+
+class TestHash:
+    def test_deterministic_and_process_independent(self):
+        # blake2b, not the salted builtin hash(): the same string must
+        # map to the same point in every process.
+        assert _hash64("obj-000001") == _hash64("obj-000001")
+        assert _hash64("obj-000001") != _hash64("obj-000002")
+        assert 0 <= _hash64("anything") < _SPACE
+
+
+class TestHashRing:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shard"):
+            HashRing(0)
+        with pytest.raises(ValueError, match="virtual node"):
+            HashRing(3, vnodes=0)
+
+    def test_assignment_in_range_and_stable(self):
+        ring = HashRing(8)
+        again = HashRing(8)
+        for key in keyspace(500):
+            shard = ring.shard_of(key)
+            assert 0 <= shard < 8
+            assert again.shard_of(key) == shard
+
+    def test_every_shard_gets_keys(self):
+        ring = HashRing(8)
+        owners = {ring.shard_of(key) for key in keyspace(2_000)}
+        assert owners == set(range(8))
+
+    def test_distribution_roughly_balanced(self):
+        ring = HashRing(8, vnodes=DEFAULT_VNODES)
+        counts = [0] * 8
+        for key in keyspace(8_000):
+            counts[ring.shard_of(key)] += 1
+        # 64 vnodes give a relative spread of roughly 1/sqrt(64); allow
+        # a generous factor so the test pins gross imbalance only.
+        assert max(counts) < 3 * min(counts)
+
+    def test_growth_moves_keys_only_to_the_new_shard(self):
+        keys = keyspace(3_000)
+        for n in (1, 2, 5, 9):
+            old = HashRing(n)
+            new = HashRing(n + 1)
+            moved = 0
+            for key in keys:
+                before, after = old.shard_of(key), new.shard_of(key)
+                if before != after:
+                    assert after == n, (
+                        f"{key} moved between pre-existing shards "
+                        f"{before} -> {after} on growth {n} -> {n + 1}")
+                    moved += 1
+            # Expectation is len(keys)/(n+1); triple it for headroom.
+            assert moved <= 3 * len(keys) / (n + 1)
+
+    def test_unit_phase_in_range_and_shard_independent(self):
+        ring_small, ring_big = HashRing(1), HashRing(32)
+        for key in keyspace(100):
+            phase = ring_small.unit_phase(key)
+            assert 0.0 <= phase < 1.0
+            assert ring_big.unit_phase(key) == phase
+
+    def test_phase_domain_differs_from_placement_domain(self):
+        # The phase hash must not just reuse the ring position; a key's
+        # phase and its ring position are drawn from distinct domains.
+        assert _hash64("obj-000000") != _hash64("phase/obj-000000")

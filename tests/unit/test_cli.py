@@ -33,6 +33,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["matrix"])
 
+    def test_catalog_defaults(self):
+        args = build_parser().parse_args(["catalog"])
+        assert args.keys == [100, 1_000]
+        assert args.shards == [1, 4, 16]
+        assert args.grouping == "chunked"
+        assert args.engine == "batched"
+
+    def test_catalog_rejects_unknown_grouping(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["catalog", "--grouping", "psychic"])
+
 
 class TestCommands:
     def test_figure2_prints_table(self, capsys):
@@ -61,6 +72,21 @@ class TestCommands:
         with open(path) as handle:
             rows = list(csv.DictReader(handle))
         assert [int(r["n_accesses"]) for r in rows] == [500, 1000]
+
+    def test_catalog_command(self, tmp_path, capsys):
+        path = str(tmp_path / "catalog.csv")
+        assert main(["catalog", "--keys", "24", "--shards", "1", "2",
+                     "--grouping", "chunked", "--group-size", "6",
+                     "--nodes", "20", "--dc", "6", "--seed", "3",
+                     "--rate", "100", "--duration-ms", "8000",
+                     "--csv", path]) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert [int(r["n_shards"]) for r in rows] == [1, 2]
+        assert all(int(r["reads_completed"]) > 0 for r in rows)
+        assert all(int(r["groups"]) == 4 for r in rows)
 
     def test_matrix_command(self, tmp_path, capsys):
         path = str(tmp_path / "m.npz")

@@ -163,6 +163,44 @@ class TestReads:
             store.route_read(10, "ghost")
 
 
+class TestConsistencyConfigValidation:
+    def test_defaults_are_valid(self):
+        config = ConsistencyConfig()
+        assert config.read_quorum == 1
+
+    def test_read_quorum_must_be_positive_int(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            ConsistencyConfig(read_quorum=0)
+        with pytest.raises(ValueError, match="at least 1"):
+            ConsistencyConfig(read_quorum=-3)
+        with pytest.raises(ValueError, match="integer"):
+            ConsistencyConfig(read_quorum=2.5)
+        with pytest.raises(ValueError, match="integer"):
+            ConsistencyConfig(read_quorum=True)
+
+    def test_propagate_updates_must_be_boolean(self):
+        with pytest.raises(ValueError, match="boolean"):
+            ConsistencyConfig(propagate_updates=1)
+
+    def test_propagation_delay_rejects_nan_and_negatives(self):
+        # NaN slips past both plain comparisons (NaN < 0 is False), so
+        # the config must reject it explicitly.
+        with pytest.raises(ValueError, match="NaN"):
+            ConsistencyConfig(propagation_delay_ms=float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            ConsistencyConfig(propagation_delay_ms=float("inf"))
+        with pytest.raises(ValueError, match="non-negative"):
+            ConsistencyConfig(propagation_delay_ms=-1.0)
+        with pytest.raises(ValueError, match="number"):
+            ConsistencyConfig(propagation_delay_ms="soon")
+        with pytest.raises(ValueError, match="number"):
+            ConsistencyConfig(propagation_delay_ms=True)
+
+    def test_valid_numpy_delay_accepted(self):
+        config = ConsistencyConfig(propagation_delay_ms=np.float64(5.0))
+        assert float(config.propagation_delay_ms) == 5.0
+
+
 class TestWritesAndConsistency:
     def test_write_bumps_version_and_propagates(self):
         sim, matrix, store = build_store(

@@ -367,3 +367,66 @@ class TestTracePersistence:
                          '"kind": "delete"}\n')
         with pytest.raises(ValueError, match="unknown kind"):
             load_trace(path)
+
+    def test_truncated_line_names_line_number(self, tmp_path):
+        # A writer killed mid-line leaves invalid JSON on the last line;
+        # the loader must say *where*, not dump a bare JSONDecodeError.
+        from repro.workloads import load_trace
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"time_ms": 1.0, "client": 2, "key": "k", '
+                         '"kind": "read"}\n')
+            handle.write('{"time_ms": 2.0, "client": 3, "ke')
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        from repro.workloads import load_trace
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as handle:
+            handle.write('[1, 2, 3]\n')
+        with pytest.raises(ValueError, match="line 1.*expected an object"):
+            load_trace(path)
+
+    def test_garbage_line_rejected(self, tmp_path):
+        from repro.workloads import load_trace
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as handle:
+            handle.write('not json at all\n')
+        with pytest.raises(ValueError, match="line 1"):
+            load_trace(path)
+
+
+class TestTraceDeterminism:
+    def test_key_enumeration_order_is_irrelevant(self, tmp_path):
+        # The default popularity ranks keys in sorted order, so the same
+        # seed yields a byte-identical trace file no matter how the
+        # caller enumerates the keyspace.
+        from repro.workloads import save_trace
+        pop = ClientPopulation.uniform([1, 2, 3])
+        keys = [f"obj-{i:06d}" for i in range(12)]
+        paths = []
+        for i, enumeration in enumerate(
+                [keys, list(reversed(keys)), keys[6:] + keys[:6]]):
+            trace = generate_trace(pop, enumeration, duration_ms=3_000.0,
+                                   rate_per_second=200.0,
+                                   rng=np.random.default_rng(7),
+                                   write_fraction=0.1)
+            path = tmp_path / f"trace-{i}.jsonl"
+            save_trace(trace, str(path))
+            paths.append(path)
+        reference = paths[0].read_bytes()
+        assert paths[1].read_bytes() == reference
+        assert paths[2].read_bytes() == reference
+
+    def test_explicit_popularity_is_honoured(self):
+        # An explicit ranking still wins over the sorted default.
+        from repro.workloads import ZipfObjectPopularity
+        pop = ClientPopulation.uniform([1])
+        keys = ["b", "a"]
+        events = generate_trace(
+            pop, keys, duration_ms=5_000.0, rate_per_second=200.0,
+            rng=np.random.default_rng(0),
+            popularity=ZipfObjectPopularity(("b", "a"), exponent=3.0))
+        counts = {k: sum(1 for e in events if e.key == k) for k in keys}
+        assert counts["b"] > counts["a"]

@@ -101,7 +101,7 @@ def metrics_to_json(registry: MetricsRegistry, path: str,
           "counters":     {name: value, ...},
           "gauges":       {name: value, ...},
           "histograms":   {name: {bounds, bucket_counts, count, total,
-                                  mean, min, max}, ...},
+                                  mean, min, max, p50, p99, p999}, ...},
           "phase_timers": {name: {calls, total_seconds, mean_seconds,
                                   max_seconds}, ...},
           "trace":        {capacity, recorded, retained, dropped,
@@ -131,7 +131,8 @@ def metrics_to_csv(registry: MetricsRegistry, path: str) -> None:
         for name, value in snap["gauges"].items():
             writer.writerow(["gauge", name, "value", value])
         for name, hist in snap["histograms"].items():
-            for stat in ("count", "total", "mean", "min", "max"):
+            for stat in ("count", "total", "mean", "min", "max",
+                         "p50", "p99", "p999"):
                 writer.writerow(["histogram", name, stat, hist[stat]])
             bounds = [*hist["bounds"], "inf"]
             for bound, count in zip(bounds, hist["bucket_counts"]):

@@ -63,16 +63,38 @@ class CatalogRunSpec:
     epoch_period_ms: float = 10_000.0
     epoch_stagger: float = 1.0
     max_epoch_moves: int | None = None
+    # Queueing / selection axes (mirror the chaos scenario's
+    # ``[queueing]`` / ``[selection]`` sections).
+    strategy: str = "nearest"
+    service_model: str = "none"
+    service_ms: float = 0.0
+    service_sigma: float = 0.5
+    queue_capacity: int | None = None
 
     kind = "catalog-run"
     setting = None                  # the spec carries its own world
 
     def __post_init__(self) -> None:
+        from repro.store.selection import STRATEGIES
+
         if self.grouping not in GROUPING_MODES:
             raise ValueError(f"unknown grouping {self.grouping!r}; "
                              f"known: {GROUPING_MODES}")
         if self.engine not in ("event", "batched"):
             raise ValueError(f"unknown engine {self.engine!r}")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"unknown selection strategy "
+                             f"{self.strategy!r}; known: {STRATEGIES}")
+        self.build_queueing()       # validates the queueing knobs
+
+    def build_queueing(self):
+        """Materialize the cell's queueing config (``None`` = legacy)."""
+        from repro.store.queueing import QueueingConfig
+
+        return QueueingConfig.from_params(
+            service_model=self.service_model, service_ms=self.service_ms,
+            service_sigma=self.service_sigma,
+            queue_capacity=self.queue_capacity)
 
     def payload(self) -> dict:
         payload = asdict(self)
@@ -141,7 +163,9 @@ def run_catalog_cell(spec: CatalogRunSpec) -> dict[str, Any]:
     sim_seed = int(seed_sequence(spec.seed, 0).generate_state(1)[0])
     sim = Simulator(seed=sim_seed)
     store = ReplicatedStore(sim, matrix, candidates, planar,
-                            selection="oracle")
+                            selection="oracle",
+                            queueing=spec.build_queueing(),
+                            strategy=spec.strategy)
     keys = keyspace(spec.n_keys)
     catalog = ShardedCatalog(
         store, keys, n_shards=spec.n_shards,
@@ -163,6 +187,7 @@ def run_catalog_cell(spec: CatalogRunSpec) -> dict[str, Any]:
 
     reads = [r for r in store.log.records if r.kind == "read"]
     units = catalog.unit_keys()
+    quantiles = store.log.tail_quantiles("read")
     return {
         "n_keys": spec.n_keys,
         "n_shards": spec.n_shards,
@@ -172,6 +197,10 @@ def run_catalog_cell(spec: CatalogRunSpec) -> dict[str, Any]:
         "reads_completed": len(reads),
         "mean_delay_ms": (float(np.mean([r.delay_ms for r in reads]))
                           if reads else 0.0),
+        "p50_ms": quantiles["p50"],
+        "p99_ms": quantiles["p99"],
+        "p999_ms": quantiles["p999"],
+        "queue_rejections": store.queue_rejections,
         "epochs": sum(shard.epochs for shard in catalog.shards),
         "moves": sum(shard.moves for shard in catalog.shards),
         "migrations": sum(store.controller(u).tally.migrations
@@ -193,6 +222,11 @@ def run_catalog_sweep(keys_list: Sequence[int],
                       epoch_period_ms: float = 10_000.0,
                       epoch_stagger: float = 1.0,
                       max_epoch_moves: int | None = None,
+                      strategy: str = "nearest",
+                      service_model: str = "none",
+                      service_ms: float = 0.0,
+                      service_sigma: float = 0.5,
+                      queue_capacity: int | None = None,
                       jobs: int | None = 1,
                       cache_dir: str | None = None,
                       resume: bool = False) -> list[dict[str, Any]]:
@@ -209,7 +243,10 @@ def run_catalog_sweep(keys_list: Sequence[int],
             duration_ms=duration_ms, engine=engine,
             epoch_period_ms=epoch_period_ms,
             epoch_stagger=epoch_stagger,
-            max_epoch_moves=max_epoch_moves)
+            max_epoch_moves=max_epoch_moves,
+            strategy=strategy, service_model=service_model,
+            service_ms=service_ms, service_sigma=service_sigma,
+            queue_capacity=queue_capacity)
         for n_keys in keys_list
         for n_shards in shards_list
     ]
@@ -225,6 +262,7 @@ def run_catalog_sweep(keys_list: Sequence[int],
 _COLUMNS = (
     ("keys", "n_keys"), ("shards", "n_shards"), ("groups", "groups"),
     ("reads", "reads_completed"), ("mean delay (ms)", "mean_delay_ms"),
+    ("p99 (ms)", "p99_ms"), ("p999 (ms)", "p999_ms"),
     ("epochs", "epochs"), ("moves", "moves"), ("failovers", "failovers"),
 )
 
@@ -251,7 +289,8 @@ def catalog_to_csv(rows: Sequence[dict[str, Any]], path: str) -> None:
     import csv
 
     fields = ["n_keys", "n_shards", "grouping", "groups", "reads_issued",
-              "reads_completed", "mean_delay_ms", "epochs", "moves",
+              "reads_completed", "mean_delay_ms", "p50_ms", "p99_ms",
+              "p999_ms", "queue_rejections", "epochs", "moves",
               "migrations", "failovers"]
     with open(path, "w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=fields)

@@ -53,6 +53,13 @@ class ChaosRunResult:
     #: Mean delay over the final quarter of the run — "after the dust
     #: settles"; the acceptance latency ratio is measured on this.
     final_delay_ms: float
+    #: Tail of the read-delay distribution over the whole run — the
+    #: metrics the ``[queueing]``/``[selection]`` axes move.
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    #: Reads dropped at a full server queue (``queue_capacity`` runs).
+    queue_rejections: int
     crashes: int
     partitions: int
     failovers: int
@@ -229,7 +236,9 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
         auto_repair=scenario.auto_repair,
         repair_period_ms=scenario.repair_period_ms,
         retry_policy=scenario.retry,
-        domains=domains)
+        domains=domains,
+        queueing=scenario.build_queueing(),
+        strategy=scenario.strategy)
     policy = MigrationPolicy(min_relative_gain=scenario.min_relative_gain,
                              min_absolute_gain_ms=0.5)
     catalog = None
@@ -280,12 +289,8 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
         # the concentration the availability objective is meant to
         # counteract.
         anchor = candidates[scenario.hotspot_anchor]
-        weights = [
-            (1.0 / (float(matrix.latency(c, anchor)) + 1.0))
-            ** scenario.hotspot_exponent
-            for c in clients
-        ]
-        population = ClientPopulation(clients, weights)
+        population = ClientPopulation.hotspot(
+            clients, matrix, anchor, scenario.hotspot_exponent)
     else:
         population = ClientPopulation.uniform(clients)
     workload = workload_cls(store, population, workload_keys,
@@ -316,6 +321,7 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
     reads = [r for r in store.log.records if r.kind == "read"]
     horizon = scenario.duration_ms + scenario.settle_ms
     tail = [r for r in reads if r.time >= 0.75 * horizon]
+    quantiles = store.log.tail_quantiles("read")
     reports = [r for unit in unit_list for r in store.epoch_reports(unit)]
     controllers = [store.controller(unit) for unit in unit_list]
     return ChaosRunResult(
@@ -326,6 +332,10 @@ def run_scenario(scenario: ChaosScenario, run_index: int = 0,
                        if reads else 0.0),
         final_delay_ms=(float(np.mean([r.delay_ms for r in tail]))
                         if tail else 0.0),
+        p50_ms=quantiles["p50"],
+        p99_ms=quantiles["p99"],
+        p999_ms=quantiles["p999"],
+        queue_rejections=store.queue_rejections,
         crashes=len(injector.crashes()),
         partitions=len(injector.partitions()),
         failovers=sum(c.failovers for c in controllers),
@@ -357,7 +367,7 @@ def _aggregate(results: Sequence[ChaosRunResult]) -> dict[str, Any]:
                      "migrations", "migration_retries",
                      "migrations_abandoned", "migration_rollbacks",
                      "summary_retries", "summaries_lost", "repairs",
-                     "replicas_lost")
+                     "replicas_lost", "queue_rejections")
     }
     totals["min_live_replicas"] = min(
         r.min_live_replicas for r in results)
@@ -365,6 +375,8 @@ def _aggregate(results: Sequence[ChaosRunResult]) -> dict[str, Any]:
         np.mean([r.mean_delay_ms for r in results]))
     totals["final_delay_ms"] = float(
         np.mean([r.final_delay_ms for r in results]))
+    for name in ("p50_ms", "p99_ms", "p999_ms"):
+        totals[name] = float(np.mean([getattr(r, name) for r in results]))
     totals["completion_rate"] = (
         totals["reads_completed"] / totals["reads_issued"]
         if totals["reads_issued"] else 0.0)
@@ -432,7 +444,11 @@ def format_chaos(summary: dict[str, Any]) -> str:
         ("failed reads", "failed_reads"),
         ("mean delay (ms)", "mean_delay_ms"),
         ("final delay (ms)", "final_delay_ms"),
+        ("p50 delay (ms)", "p50_ms"),
+        ("p99 delay (ms)", "p99_ms"),
+        ("p999 delay (ms)", "p999_ms"),
         ("completion rate", "completion_rate"),
+        ("queue rejections", "queue_rejections"),
         ("crashes", "crashes"),
         ("partitions", "partitions"),
         ("coordinator failovers", "failovers"),
@@ -451,7 +467,8 @@ def format_chaos(summary: dict[str, Any]) -> str:
         if field_name is None:
             f_val = f"{faulty['epochs']} ({faulty['epochs_degraded']})"
             b_val = f"{baseline['epochs']} ({baseline['epochs_degraded']})"
-        elif field_name in ("mean_delay_ms", "final_delay_ms"):
+        elif field_name in ("mean_delay_ms", "final_delay_ms",
+                            "p50_ms", "p99_ms", "p999_ms"):
             f_val = f"{faulty[field_name]:.1f}"
             b_val = f"{baseline[field_name]:.1f}"
         elif field_name == "completion_rate":

@@ -79,6 +79,21 @@ In catalog mode ``max_epoch_moves`` (in ``[object]``) becomes the
 catalog's *global* per-window migration budget, drained across shards
 in epoch-firing order.
 
+With a ``[queueing]`` section servers stop answering instantly: reads
+occupy their server for a sampled service time and wait FIFO behind
+earlier admitted work (:mod:`repro.store.queueing`); a ``[selection]``
+section swaps the client routing policy
+(:mod:`repro.store.selection`)::
+
+    [queueing]
+    service_model = "deterministic"   # none | deterministic | lognormal
+    service_ms = 2.0                  # constant, or lognormal median
+    service_sigma = 0.5               # lognormal log-space std dev
+    queue_capacity = 64               # optional bound; beyond = rejected
+
+    [selection]
+    strategy = "least-pending"        # nearest | least-pending | c3
+
 ``availability_lambda`` (in ``[object]``) prices co-failure risk into
 the placement objective; ``hotspot_exponent`` / ``hotspot_anchor`` (in
 ``[workload]``) skew the client population toward one candidate so a
@@ -96,6 +111,8 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.migration import RetryPolicy
 from repro.net.domains import LEVELS, FailureDomains
+from repro.store.queueing import QueueingConfig
+from repro.store.selection import STRATEGIES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.net.latency import LatencyMatrix
@@ -244,6 +261,13 @@ class ChaosScenario:
     auto_repair: bool = True
     repair_period_ms: float = 2_000.0
     retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    # Server queueing ([queueing]; "none" with no capacity keeps the
+    # uncontended store) and client selection ([selection]).
+    service_model: str = "none"
+    service_ms: float = 0.0
+    service_sigma: float = 0.5
+    queue_capacity: int | None = None
+    strategy: str = "nearest"
     # Faults
     faults: tuple[FaultSpec, ...] = ()
 
@@ -292,6 +316,13 @@ class ChaosScenario:
             raise ValueError("epoch_stagger must lie in [0, 1]")
         if self.hotspot_exponent < 0:
             raise ValueError("hotspot_exponent must be non-negative")
+        # Queueing/selection knobs: delegate the detailed validation to
+        # the factories so scenario files and direct construction reject
+        # identically.
+        self.build_queueing()
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"unknown selection strategy "
+                             f"{self.strategy!r}; known: {STRATEGIES}")
         if not 0 <= self.hotspot_anchor < self.n_dc:
             raise ValueError(f"hotspot_anchor {self.hotspot_anchor} is not "
                              f"a candidate position (< {self.n_dc})")
@@ -330,6 +361,17 @@ class ChaosScenario:
                     raise ValueError(
                         f"fault references candidate position {position}, "
                         f"but the scenario has {self.n_dc} candidates")
+
+    def build_queueing(self) -> "QueueingConfig | None":
+        """Materialize the server-queueing config, or ``None``.
+
+        ``None`` (the ``service_model = "none"``, no-capacity default)
+        keeps the store on the certified uncontended path.
+        """
+        return QueueingConfig.from_params(
+            service_model=self.service_model, service_ms=self.service_ms,
+            service_sigma=self.service_sigma,
+            queue_capacity=self.queue_capacity)
 
     def build_domains(self, matrix: "LatencyMatrix | None" = None,
                       candidates: Any = None) -> FailureDomains | None:
@@ -389,7 +431,7 @@ def _parse_scenario(payload: dict, source: str) -> ChaosScenario:
     # The nested tables are flat namespaces over ChaosScenario fields.
     scenario_fields = {f.name for f in fields(ChaosScenario)}
     for section in ("world", "object", "workload", "store", "domains",
-                    "catalog"):
+                    "catalog", "queueing", "selection"):
         table = payload.get(section, {})
         unknown = sorted(set(table) - scenario_fields)
         if unknown:
@@ -408,7 +450,8 @@ def _parse_scenario(payload: dict, source: str) -> ChaosScenario:
                            for i, entry in enumerate(faults))
     stray = sorted(set(payload) - {"name", "seed", "runs", "world", "object",
                                    "workload", "store", "domains", "catalog",
-                                   "retry", "faults"})
+                                   "queueing", "selection", "retry",
+                                   "faults"})
     if stray:
         raise ValueError(f"{source}: unknown top-level entries {stray}")
     return ChaosScenario(**flat)

@@ -228,6 +228,11 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
         epoch_period_ms=args.epoch_period_ms,
         epoch_stagger=args.epoch_stagger,
         max_epoch_moves=args.max_epoch_moves,
+        strategy=args.strategy,
+        service_model=args.service_model,
+        service_ms=args.service_ms,
+        service_sigma=args.service_sigma,
+        queue_capacity=args.queue_capacity,
         **_runner_kwargs(args))
     print(format_catalog(rows))
     if args.csv:
@@ -351,6 +356,22 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="N",
                     help="global per-window migration budget across "
                          "all shards")
+    pg.add_argument("--strategy", default="nearest",
+                    choices=("nearest", "least-pending", "c3"),
+                    help="replica selection strategy clients use")
+    pg.add_argument("--service-model", default="none",
+                    choices=("none", "deterministic", "lognormal"),
+                    help="per-server service-time model (none keeps "
+                         "instant servers)")
+    pg.add_argument("--service-ms", type=float, default=0.0,
+                    help="service time in ms (deterministic), or the "
+                         "lognormal median")
+    pg.add_argument("--service-sigma", type=float, default=0.5,
+                    help="lognormal log-space standard deviation")
+    pg.add_argument("--queue-capacity", type=int, default=None,
+                    metavar="N",
+                    help="bound each server's FIFO queue; excess reads "
+                         "are rejected and counted")
     pg.add_argument("--csv", default=None, metavar="FILE",
                     help="also export the rows as CSV")
     _add_metrics_arg(pg)

@@ -244,7 +244,12 @@ class Histogram:
         return self.max if self.max is not None else 0.0
 
     def snapshot(self) -> dict:
-        """JSON-safe summary (bounds, bucket counts, scalar stats)."""
+        """JSON-safe summary (bounds, bucket counts, scalar stats).
+
+        Tail quantiles (p50/p99/p999) are first-class fields: latency
+        distributions are judged by their tails, so every exporter and
+        sweep report carries them without re-deriving from buckets.
+        """
         return {
             "bounds": list(self.bounds),
             "bucket_counts": list(self.bucket_counts),
@@ -253,6 +258,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.approx_quantile(0.5),
+            "p99": self.approx_quantile(0.99),
+            "p999": self.approx_quantile(0.999),
         }
 
     def __repr__(self) -> str:

@@ -15,13 +15,33 @@ discrete-event simulator:
   migration execution, placement epochs, access metrics;
 * :mod:`repro.store.consistency` — the paper's stated future work,
   built as an extension: asynchronous update propagation between
-  replicas and quorum reads (R out of k).
+  replicas and quorum reads (R out of k);
+* :mod:`repro.store.queueing` — per-server service-time models and
+  bounded FIFO queues (reads wait behind earlier admitted work);
+* :mod:`repro.store.selection` — pluggable client replica-selection
+  strategies: ``nearest`` (the paper's, bitwise default),
+  ``least-pending``, ``c3``-style rate-adaptive scoring.
 """
 
 from repro.store.objects import AccessRecord, DataObject, AccessLog
 from repro.store.kvstore import ReplicatedStore, StorageClient, StorageServer
 from repro.store.consistency import ConsistencyConfig, QuorumError
 from repro.store.batched import BatchedAccessEngine, BatchedAccessWorkload
+from repro.store.queueing import (
+    DeterministicService,
+    LogNormalService,
+    QueueingConfig,
+    ServerQueue,
+    ServiceModel,
+)
+from repro.store.selection import (
+    C3Selection,
+    EwmaTracker,
+    LeastPendingSelection,
+    NearestSelection,
+    SelectionStrategy,
+    make_strategy,
+)
 
 __all__ = [
     "AccessRecord",
@@ -34,4 +54,15 @@ __all__ = [
     "QuorumError",
     "BatchedAccessEngine",
     "BatchedAccessWorkload",
+    "ServiceModel",
+    "DeterministicService",
+    "LogNormalService",
+    "ServerQueue",
+    "QueueingConfig",
+    "SelectionStrategy",
+    "NearestSelection",
+    "LeastPendingSelection",
+    "C3Selection",
+    "EwmaTracker",
+    "make_strategy",
 ]

@@ -45,6 +45,8 @@ from repro.sim.process import PeriodicProcess
 from repro.sim.simulator import Simulator
 from repro.store.consistency import ConsistencyConfig, QuorumError
 from repro.store.objects import AccessLog, AccessRecord, DataObject
+from repro.store.queueing import QueueingConfig, ServerQueue
+from repro.store.selection import SelectionStrategy, make_strategy
 
 __all__ = ["StorageServer", "StorageClient", "ReplicatedStore"]
 
@@ -60,6 +62,9 @@ class StorageServer(Node):
         self.store = store
         #: object key -> stored version.
         self.replicas: dict[str, int] = {}
+        #: FIFO service queue (inert unless the store configures
+        #: queueing; reads then wait behind earlier admitted work).
+        self.queue = ServerQueue()
 
     # ------------------------------------------------------------------
     def handle_message(self, message: Message) -> None:
@@ -95,6 +100,42 @@ class StorageServer(Node):
         if key not in self.replicas:
             self._forward(message)
             return
+        queueing = self.store.queueing
+        if queueing is None or not queueing.active:
+            # The certified fast path: identical to the pre-queueing
+            # store, byte for byte (no counters, no RNG, no events).
+            self._serve_read_now(message)
+            return
+        service = queueing.sample_service(self.sim)
+        finish = self.queue.admit(self.sim.now, service,
+                                  queueing.queue_capacity)
+        if finish is None:
+            # Queue full: the request is dropped.  The client sees it
+            # exactly like a lost message — its read timeout (if
+            # configured) fires and retries another replica.
+            self.store.queue_rejections += 1
+            registry = obs.get_registry()
+            if registry.enabled:
+                registry.counter("store.queue_rejections").inc()
+            return
+        if finish <= self.sim.now:
+            self._serve_read_now(message)
+            return
+        # The server snapshots the object and accounts the access at
+        # admission; the reply departs when the service completes.
+        version = self.replicas[key]
+        obj = self.store.object(key)
+        self.store._record_server_access(self.node_id, key,
+                                         message.payload["coords"],
+                                         obj.read_size_bytes, kind="read")
+        self.sim.schedule_at(finish, self._send_read_reply, message,
+                             version, obj.read_size_bytes, inert=True)
+
+    def _serve_read_now(self, message: Message) -> None:
+        key = message.payload["key"]
+        if key not in self.replicas:
+            self._forward(message)
+            return
         version = self.replicas[key]
         obj = self.store.object(key)
         self.store._record_server_access(self.node_id, key,
@@ -104,6 +145,13 @@ class StorageServer(Node):
                   payload={"key": key, "version": version,
                            "request_id": message.payload["request_id"]},
                   size_bytes=obj.read_size_bytes)
+
+    def _send_read_reply(self, message: Message, version: int,
+                         size_bytes: int) -> None:
+        self.send(message.payload["client"], "read-rep",
+                  payload={"key": message.payload["key"], "version": version,
+                           "request_id": message.payload["request_id"]},
+                  size_bytes=size_bytes)
 
     def _on_write(self, message: Message) -> None:
         key = message.payload["key"]
@@ -197,6 +245,9 @@ class _PendingRead:
     attempts: int = 1
     tried: set[int] = field(default_factory=set)
     timeout_event: object = None
+    #: Server -> issue time of the leg still awaiting a reply; feeds
+    #: the selection strategy's pending counts and latency trackers.
+    outstanding: dict[int, float] = field(default_factory=dict)
 
 
 class StorageClient(Node):
@@ -233,7 +284,10 @@ class StorageClient(Node):
                     targets: Sequence[int]) -> None:
         coords = self.store.planar_coords_of(self.node_id)
         pending.tried.update(targets)
+        strategy = self.store.strategy
         for server in targets:
+            pending.outstanding[server] = self.sim.now
+            strategy.note_issued(self.node_id, server)
             self.send(server, "read-req",
                       payload={"key": pending.key, "request_id": request_id,
                                "coords": coords, "client": self.node_id},
@@ -263,7 +317,10 @@ class StorageClient(Node):
         self._pending_reads[request_id] = pending
         pending.tried.update(targets)
         coords = self.store.planar_coords_of(self.node_id)
+        strategy = self.store.strategy
         for server, delay in zip(targets, delays):
+            pending.outstanding[server] = issued_at
+            strategy.note_issued(self.node_id, server)
             self.sim.schedule_at(
                 issued_at + delay, self.network._deliver, Message(
                     sender=self.node_id, recipient=server, kind="read-req",
@@ -292,6 +349,10 @@ class StorageClient(Node):
         if (pending.attempts >= self.store.max_read_attempts
                 or not untried):
             del self._pending_reads[request_id]
+            if pending.outstanding:
+                self.store.strategy.note_failure(
+                    self.node_id, sorted(pending.outstanding))
+                pending.outstanding.clear()
             self.store.failed_reads += 1
             registry = obs.get_registry()
             if registry.enabled:
@@ -332,6 +393,10 @@ class StorageClient(Node):
         pending = self._pending_reads.get(request_id)
         if pending is None:
             return
+        leg_issued = pending.outstanding.pop(message.sender, None)
+        if leg_issued is not None:
+            self.store.strategy.note_reply(
+                self.node_id, message.sender, self.sim.now - leg_issued)
         pending.versions.append(message.payload["version"])
         pending.servers.append(message.sender)
         if len(pending.versions) < pending.expected:
@@ -339,6 +404,13 @@ class StorageClient(Node):
         if pending.timeout_event is not None:
             pending.timeout_event.cancel()
         del self._pending_reads[request_id]
+        if pending.outstanding:
+            # Quorum satisfied with legs still in flight (a retry raced
+            # a slow original); release their pending counts — a late
+            # reply finds no pending read and is ignored.
+            self.store.strategy.note_failure(
+                self.node_id, sorted(pending.outstanding))
+            pending.outstanding.clear()
         version = max(pending.versions)
         freshest_server = pending.servers[int(np.argmax(pending.versions))]
         delay = self.sim.now - pending.issued_at
@@ -472,6 +544,20 @@ class ReplicatedStore:
         ``"retry-jitter"`` stream), and a migration whose transfer
         exhausts the budget is rolled back without shedding replicas.
         ``None`` (the default) preserves the fire-and-forget behaviour.
+    queueing:
+        Optional :class:`~repro.store.queueing.QueueingConfig`: reads
+        occupy their server for a sampled service time and wait FIFO
+        behind earlier admitted work; with a ``queue_capacity``,
+        arrivals beyond it are dropped (counted in
+        ``queue_rejections``).  ``None`` — or a config whose service
+        time is identically zero with an unbounded queue — keeps the
+        certified uncontended path, byte for byte.
+    strategy:
+        Replica selection policy: ``"nearest"`` (the default, bitwise
+        today's behaviour), ``"least-pending"``, ``"c3"``, or any
+        :class:`~repro.store.selection.SelectionStrategy` instance.
+        Orthogonal to ``selection``, which picks the *distance oracle*
+        (true RTTs vs. coordinate estimates) the strategy ranks with.
     """
 
     def __init__(self, sim: Simulator, matrix, candidates: Sequence[int],
@@ -483,7 +569,9 @@ class ReplicatedStore:
                  auto_repair: bool = False,
                  repair_period_ms: float = 5_000.0,
                  retry_policy: RetryPolicy | None = None,
-                 domains: "FailureDomains | None" = None) -> None:
+                 domains: "FailureDomains | None" = None,
+                 queueing: QueueingConfig | None = None,
+                 strategy: "SelectionStrategy | str" = "nearest") -> None:
         if selection not in ("coords", "oracle"):
             raise ValueError("selection must be 'coords' or 'oracle'")
         if read_timeout_ms is not None and read_timeout_ms <= 0:
@@ -498,6 +586,11 @@ class ReplicatedStore:
         self.max_read_attempts = max_read_attempts
         self.auto_repair = auto_repair
         self.retry_policy = retry_policy
+        if queueing is not None and not isinstance(queueing, QueueingConfig):
+            raise ValueError("queueing must be a QueueingConfig or None")
+        self.queueing = queueing
+        self.strategy = make_strategy(strategy)
+        self.queue_rejections = 0
         self.failed_reads = 0
         self.repairs = 0
         self.migration_retries = 0
@@ -810,13 +903,26 @@ class ReplicatedStore:
         return self._rank_sites(client, sites)[0]
 
     def _rank_sites(self, client: int, sites: Sequence[int]) -> list[int]:
+        return self.strategy.rank(client, sites, self)
+
+    def _distance_keys(self, client: int, sites: Sequence[int]) -> list:
+        """Distance key per site, under the configured oracle."""
         if self.selection == "oracle":
-            keys = [self.network.matrix.latency(client, s) for s in sites]
-        else:
-            coords = self.planar_coords()
-            keys = [float(np.linalg.norm(coords[client] - coords[s]))
-                    for s in sites]
-        return [s for _, s in sorted(zip(keys, sites))]
+            return [self.network.matrix.latency(client, s) for s in sites]
+        coords = self.planar_coords()
+        return [float(np.linalg.norm(coords[client] - coords[s]))
+                for s in sites]
+
+    def queue_stats(self) -> dict[str, int]:
+        """Aggregate offered/accepted/rejected counts over all servers."""
+        offered = accepted = rejected = 0
+        for server in self.servers.values():
+            queue = server.queue
+            offered += queue.offered
+            accepted += queue.accepted
+            rejected += queue.rejected
+        return {"offered": offered, "accepted": accepted,
+                "rejected": rejected}
 
     # ------------------------------------------------------------------
     # Access recording (server-side hook into the controller)

@@ -120,6 +120,19 @@ class AccessLog:
             raise ValueError("no matching access records")
         return float(np.percentile(values, q))
 
+    def tail_quantiles(self, kind: str | None = None,
+                       since: float = 0.0) -> dict[str, float]:
+        """p50/p99/p999 delay in one pass — the tail-latency report.
+
+        Returns zeros when no records match (an empty run has no tail),
+        so sweep aggregation never branches on emptiness.
+        """
+        values = self.delays(kind, since)
+        if values.size == 0:
+            return {"p50": 0.0, "p99": 0.0, "p999": 0.0}
+        p50, p99, p999 = np.percentile(values, (50.0, 99.0, 99.9))
+        return {"p50": float(p50), "p99": float(p99), "p999": float(p999)}
+
     def stale_fraction(self) -> float:
         """Fraction of reads that returned a stale version."""
         reads = [r for r in self.records if r.kind == "read"]

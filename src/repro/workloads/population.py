@@ -71,6 +71,24 @@ class ClientPopulation:
         ]
         return ClientPopulation(clients, weights)
 
+    @staticmethod
+    def hotspot(clients: Sequence[int], matrix, anchor: int,
+                exponent: float = 2.0) -> "ClientPopulation":
+        """Weight clients by proximity to an anchor node.
+
+        Client ``c`` gets weight ``(1 / (rtt(c, anchor) + 1)) **
+        exponent`` — the chaos harness's hotspot packing, promoted to a
+        named constructor: traffic concentrates around ``anchor``, and
+        larger exponents concentrate it harder (the workload that
+        saturates the anchor's nearest replica and separates queue-aware
+        selection strategies from ``nearest`` on tail latency).
+        """
+        if exponent < 0:
+            raise ValueError("hotspot exponent must be non-negative")
+        weights = [(1.0 / (float(matrix.latency(c, anchor)) + 1.0))
+                   ** exponent for c in clients]
+        return ClientPopulation(clients, weights)
+
     def sample(self, rng: np.random.Generator,
                modulation: np.ndarray | None = None) -> int:
         """Draw one client id (optionally modulated per client)."""

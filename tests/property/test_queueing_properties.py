@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) for queueing and replica selection.
+
+The invariants pinned here are the ones the differential suite cannot
+reach by replaying seeds:
+
+* the FIFO queue's Lindley recursion is monotone in arrival rate —
+  compressing every interarrival gap never shrinks any request's wait;
+* admission is work-conserving: every offered request is counted as
+  exactly one of accepted or rejected, and the bounded queue never
+  holds more than its capacity;
+* selection strategies are permutation-invariant — the ranking is a
+  function of the replica *set* (plus the strategy's own state), never
+  of the order the store happens to enumerate it in;
+* an EWMA latency tracker always lies within the closed hull of its
+  samples (every update is a convex combination).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.store.queueing import DeterministicService, ServerQueue
+from repro.store.selection import (
+    C3Selection,
+    EwmaTracker,
+    LeastPendingSelection,
+    NearestSelection,
+    make_strategy,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+service_times = st.lists(
+    st.floats(min_value=0.0, max_value=50.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=40)
+gaps = st.lists(
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=40)
+latencies = st.lists(
+    st.floats(min_value=0.01, max_value=1e4,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=50)
+
+
+def _waits(arrivals, services):
+    """Per-request waiting times through a fresh ServerQueue."""
+    queue = ServerQueue()
+    waits = []
+    for arrival, service in zip(arrivals, services):
+        finish = queue.admit(arrival, service)
+        waits.append(finish - service - arrival)
+    return waits
+
+
+class _StubStore:
+    """Just enough store for strategy.rank(): per-site distance keys."""
+
+    def __init__(self, distances):
+        self._distances = distances
+
+    def _distance_keys(self, client, sites):
+        return [self._distances[s] for s in sites]
+
+
+# ----------------------------------------------------------------------
+# Queue delay is monotone in arrival rate
+# ----------------------------------------------------------------------
+@settings(max_examples=80)
+@given(gaps=gaps, services=service_times,
+       factor=st.floats(min_value=1.0, max_value=20.0, allow_nan=False))
+def test_queue_delay_monotone_in_arrival_rate(gaps, services, factor):
+    """Compressing every interarrival gap never reduces any wait.
+
+    Dividing all arrival epochs by ``factor >= 1`` multiplies the rate
+    by ``factor``; by the Lindley recursion each waiting time is
+    non-decreasing under pointwise-shrinking gaps, so the queueing tail
+    can only grow with load.
+    """
+    n = min(len(gaps), len(services))
+    arrivals = []
+    t = 0.0
+    for gap in gaps[:n]:
+        t += gap
+        arrivals.append(t)
+    slow = _waits(arrivals, services[:n])
+    fast = _waits([a / factor for a in arrivals], services[:n])
+    for wait_slow, wait_fast in zip(slow, fast):
+        assert wait_fast >= wait_slow - 1e-9
+
+
+@settings(max_examples=80)
+@given(gaps=gaps, services=service_times)
+def test_waits_are_nonnegative_and_fifo(gaps, services):
+    """Waits are never negative and departures never reorder."""
+    n = min(len(gaps), len(services))
+    arrivals, t = [], 0.0
+    for gap in gaps[:n]:
+        t += gap
+        arrivals.append(t)
+    queue = ServerQueue()
+    last_finish = 0.0
+    for arrival, service in zip(arrivals, services[:n]):
+        finish = queue.admit(arrival, service)
+        assert finish >= arrival + service - 1e-12
+        assert finish >= last_finish - 1e-12
+        last_finish = finish
+
+
+# ----------------------------------------------------------------------
+# Work conservation under bounded admission
+# ----------------------------------------------------------------------
+@settings(max_examples=80)
+@given(gaps=gaps, services=service_times,
+       capacity=st.integers(min_value=1, max_value=4))
+def test_work_conservation_offered_splits_exactly(gaps, services, capacity):
+    """offered == accepted + rejected, and depth never exceeds capacity."""
+    n = min(len(gaps), len(services))
+    arrivals, t = [], 0.0
+    for gap in gaps[:n]:
+        t += gap
+        arrivals.append(t)
+    queue = ServerQueue()
+    for arrival, service in zip(arrivals, services[:n]):
+        assert queue.depth(arrival) <= capacity
+        queue.admit(arrival, service, capacity)
+        assert queue.depth(arrival) <= capacity
+    assert queue.offered == n
+    assert queue.offered == queue.accepted + queue.rejected
+
+
+# ----------------------------------------------------------------------
+# Selection permutation invariance
+# ----------------------------------------------------------------------
+site_sets = st.lists(st.integers(min_value=0, max_value=30),
+                     min_size=1, max_size=8, unique=True)
+
+
+@settings(max_examples=80)
+@given(sites=site_sets, data=st.data(),
+       name=st.sampled_from(["nearest", "least-pending", "c3"]))
+def test_rank_is_permutation_invariant(sites, data, name):
+    """Ranking depends on the replica set, not its enumeration order.
+
+    Equal-RTT replicas are the sharpest case: every criterion ties and
+    only the deterministic site-id tie-break remains, so any order
+    sensitivity would surface immediately.
+    """
+    equal_rtt = data.draw(st.booleans())
+    if equal_rtt:
+        distances = {s: 25.0 for s in sites}
+    else:
+        distances = {
+            s: data.draw(st.floats(min_value=0.1, max_value=1e3,
+                                   allow_nan=False))
+            for s in sites
+        }
+    strategy = make_strategy(name)
+    # Feed the strategy an arbitrary history so stateful strategies
+    # (pending counts, EWMA trackers) are exercised mid-flight too.
+    for s in sites:
+        for _ in range(data.draw(st.integers(min_value=0, max_value=3))):
+            strategy.note_issued(0, s)
+        if data.draw(st.booleans()):
+            strategy.note_reply(0, s, data.draw(
+                st.floats(min_value=0.1, max_value=500.0, allow_nan=False)))
+    store = _StubStore(distances)
+    baseline = strategy.rank(0, sorted(sites), store)
+    permuted = data.draw(st.permutations(sites))
+    assert strategy.rank(0, list(permuted), store) == baseline
+    assert sorted(baseline) == sorted(sites)
+
+
+def test_equal_rtt_relabeling_maps_rankings():
+    """Relabeling equal-RTT replicas relabels the ranking identically."""
+    sites = [3, 7, 11]
+    relabel = {3: 20, 7: 21, 11: 22}
+    store = _StubStore({s: 10.0 for s in list(relabel) + list(relabel.values())})
+    for name in ("nearest", "least-pending", "c3"):
+        strategy = make_strategy(name)
+        original = strategy.rank(0, sites, store)
+        mapped = strategy.rank(0, [relabel[s] for s in sites], store)
+        assert mapped == [relabel[s] for s in original]
+
+
+def test_least_pending_prefers_idle_replica():
+    """The one directional fact permutations cannot check."""
+    store = _StubStore({1: 10.0, 2: 50.0})
+    strategy = LeastPendingSelection()
+    assert strategy.rank(0, [1, 2], store) == [1, 2]
+    strategy.note_issued(0, 1)
+    assert strategy.rank(0, [1, 2], store) == [2, 1]
+    strategy.note_reply(0, 1, 12.0)
+    assert strategy.rank(0, [1, 2], store) == [1, 2]
+
+
+# ----------------------------------------------------------------------
+# EWMA bounds
+# ----------------------------------------------------------------------
+@settings(max_examples=100)
+@given(samples=latencies,
+       alpha=st.floats(min_value=0.0, max_value=0.999, allow_nan=False))
+def test_ewma_bounded_by_observed_extremes(samples, alpha):
+    tracker = EwmaTracker(alpha)
+    for i, sample in enumerate(samples, start=1):
+        value = tracker.update(sample)
+        window = samples[:i]
+        assert min(window) - 1e-9 <= value <= max(window) + 1e-9
+        assert tracker.samples == i
+
+
+@settings(max_examples=60)
+@given(samples=latencies)
+def test_c3_tracker_state_is_per_pair(samples):
+    """Replies to one (client, server) pair never leak into another."""
+    strategy = C3Selection()
+    for sample in samples:
+        strategy.note_issued(0, 1)
+        strategy.note_reply(0, 1, sample)
+    assert strategy.tracker(0, 1) is not None
+    assert strategy.tracker(0, 2) is None
+    assert strategy.tracker(1, 1) is None
+    value = strategy.tracker(0, 1).value
+    assert min(samples) - 1e-9 <= value <= max(samples) + 1e-9
+
+
+def test_nearest_is_stateless():
+    """Lifecycle notifications are free for the bitwise-preserved path."""
+    strategy = NearestSelection()
+    store = _StubStore({1: 5.0, 2: 3.0})
+    before = strategy.rank(0, [1, 2], store)
+    strategy.note_issued(0, 2)
+    strategy.note_reply(0, 2, 99.0)
+    strategy.note_failure(0, [1, 2])
+    assert strategy.rank(0, [1, 2], store) == before == [2, 1]

@@ -1,0 +1,82 @@
+"""Histogram quantile edge cases, pinned to exact outputs.
+
+``Histogram.approx_quantile`` is bucket-interpolated: exact at bucket
+edges, linear inside a bucket, lower-clamped to the observed minimum
+and upper-clamped (overflow bucket) to the observed maximum.  These
+tests pin the exact arithmetic on the degenerate inputs a sweep report
+actually produces — empty histograms, a single sample, and p999 asked
+of far fewer than 1000 samples.
+"""
+
+import pytest
+
+from repro.obs import Histogram
+
+
+class TestEmptyHistogram:
+    def test_every_quantile_is_zero(self):
+        hist = Histogram("h", bounds=(10.0, 100.0))
+        for q in (0.0, 0.5, 0.99, 0.999, 1.0):
+            assert hist.approx_quantile(q) == 0.0
+
+    def test_snapshot_quantiles_are_zero(self):
+        snap = Histogram("h", bounds=(10.0,)).snapshot()
+        assert (snap["p50"], snap["p99"], snap["p999"]) == (0.0, 0.0, 0.0)
+
+    def test_quantile_validation(self):
+        hist = Histogram("h", bounds=(10.0,))
+        with pytest.raises(ValueError, match="quantile"):
+            hist.approx_quantile(-0.1)
+        with pytest.raises(ValueError, match="quantile"):
+            hist.approx_quantile(1.1)
+
+
+class TestSingleSample:
+    def test_interpolates_from_sample_to_bucket_bound(self):
+        """One sample strictly inside a bucket: the estimate walks
+        linearly from the sample (the observed min) to the bucket's
+        upper bound as q goes 0 -> 1."""
+        hist = Histogram("h", bounds=(10.0, 100.0))
+        hist.observe(5.0)
+        assert hist.approx_quantile(0.0) == 5.0
+        assert hist.approx_quantile(0.5) == 7.5
+        assert hist.approx_quantile(0.99) == pytest.approx(9.95)
+        assert hist.approx_quantile(0.999) == pytest.approx(9.995)
+        assert hist.approx_quantile(1.0) == 10.0
+        snap = hist.snapshot()
+        assert snap["p50"] == 7.5
+        assert snap["p99"] == pytest.approx(9.95)
+        assert snap["p999"] == pytest.approx(9.995)
+
+    def test_sample_on_a_bucket_edge_is_exact(self):
+        hist = Histogram("h", bounds=(10.0, 100.0))
+        hist.observe(10.0)
+        for q in (0.0, 0.5, 0.999, 1.0):
+            assert hist.approx_quantile(q) == 10.0
+
+
+class TestTailOfFewSamples:
+    def test_p999_on_ten_identical_samples(self):
+        """p999 of 10 samples of 1.5 in bucket (1, 2]: the target count
+        9.99 lands in that bucket at fraction 0.999, interpolated from
+        the observed min 1.5 to the bound 2.0 -> exactly 1.9995."""
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0, 8.0))
+        hist.observe_many([1.5] * 10)
+        assert hist.approx_quantile(0.999) == pytest.approx(1.9995)
+        assert hist.snapshot()["p999"] == pytest.approx(1.9995)
+
+    def test_overflow_bucket_clamps_to_observed_max(self):
+        """Two samples straddling the last bound: the tail quantile
+        interpolates inside the overflow bucket from the bound to the
+        observed max, never past it."""
+        hist = Histogram("h", bounds=(10.0,))
+        hist.observe(5.0)
+        hist.observe(15.0)
+        assert hist.approx_quantile(0.5) == 10.0
+        assert hist.approx_quantile(0.99) == pytest.approx(14.9)
+        assert hist.approx_quantile(0.999) == pytest.approx(14.99)
+        assert hist.approx_quantile(1.0) == 15.0
+        snap = hist.snapshot()
+        assert snap["p50"] == 10.0
+        assert snap["p99"] == pytest.approx(14.9)
+        assert snap["p999"] == pytest.approx(14.99)

@@ -191,7 +191,8 @@ def run_comparison(matrix: LatencyMatrix, coords: np.ndarray,
                    candidate_mode: str = "dispersed", *,
                    jobs: int | None = 1,
                    cache_dir: str | None = None,
-                   resume: bool = False) -> dict[str, list[float]]:
+                   resume: bool = False,
+                   chunk_size: int | None = None) -> dict[str, list[float]]:
     """Mean access delay per strategy over ``n_runs`` candidate draws.
 
     Every strategy sees the *same* candidate/client split in each run,
@@ -217,7 +218,7 @@ def run_comparison(matrix: LatencyMatrix, coords: np.ndarray,
         for strategy in strategies for run in range(n_runs)
     ]
     results = execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume,
-                      world=world)
+                      world=world, chunk_size=chunk_size)
     delays: dict[str, list[float]] = {s.name: [] for s in strategies}
     for spec, delay in zip(specs, results):
         delays[spec.series].append(delay)
@@ -231,7 +232,8 @@ def _sweep(setting: EvaluationSetting,
            sweep_name: str,
            jobs: int | None = 1,
            cache_dir: str | None = None,
-           resume: bool = False) -> dict[str, list[SeriesPoint]]:
+           resume: bool = False,
+           chunk_size: int | None = None) -> dict[str, list[SeriesPoint]]:
     """Fan one figure sweep out over the runner and reassemble its series.
 
     Workers materialize the world from ``setting`` themselves (memoized
@@ -257,7 +259,8 @@ def _sweep(setting: EvaluationSetting,
                     run_index=run, n_dc=n_dc_for_x(x), k=k_for_x(x),
                     strategy=job_strategy, seed=setting.seed,
                     candidate_mode=setting.candidate_mode, setting=setting))
-    results = execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume)
+    results = execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume,
+                      chunk_size=chunk_size)
     delays: dict[tuple[str, float], list[float]] = {}
     for spec, delay in zip(specs, results):
         delays.setdefault((spec.series, spec.x), []).append(delay)
@@ -274,7 +277,8 @@ def run_figure1(setting: EvaluationSetting | None = None,
                 micro_clusters: int = 10, *,
                 jobs: int | None = 1,
                 cache_dir: str | None = None,
-                resume: bool = False) -> FigureResult:
+                resume: bool = False,
+                chunk_size: int | None = None) -> FigureResult:
     """Figure 1: impact of the number of available data centers (k = 3)."""
     setting = setting or EvaluationSetting()
     series = _sweep(
@@ -285,6 +289,7 @@ def run_figure1(setting: EvaluationSetting | None = None,
         k_for_x=lambda _x: k,
         sweep_name="figure1",
         jobs=jobs, cache_dir=cache_dir, resume=resume,
+        chunk_size=chunk_size,
     )
     return FigureResult(
         name="Figure 1",
@@ -300,7 +305,8 @@ def run_figure2(setting: EvaluationSetting | None = None,
                 micro_clusters: int = 10, *,
                 jobs: int | None = 1,
                 cache_dir: str | None = None,
-                resume: bool = False) -> FigureResult:
+                resume: bool = False,
+                chunk_size: int | None = None) -> FigureResult:
     """Figure 2: impact of the degree of replication (20 data centers)."""
     setting = setting or EvaluationSetting()
     series = _sweep(
@@ -311,6 +317,7 @@ def run_figure2(setting: EvaluationSetting | None = None,
         k_for_x=int,
         sweep_name="figure2",
         jobs=jobs, cache_dir=cache_dir, resume=resume,
+        chunk_size=chunk_size,
     )
     return FigureResult(
         name="Figure 2",
@@ -326,7 +333,8 @@ def run_figure3(setting: EvaluationSetting | None = None,
                 n_dc: int = 20, *,
                 jobs: int | None = 1,
                 cache_dir: str | None = None,
-                resume: bool = False) -> FigureResult:
+                resume: bool = False,
+                chunk_size: int | None = None) -> FigureResult:
     """Figure 3: online clustering delay vs. k, one series per m.
 
     Unlike Figures 1–2 the series are *micro-cluster budgets* of the
@@ -347,7 +355,8 @@ def run_figure3(setting: EvaluationSetting | None = None,
                     x=float(k), run_index=run, n_dc=n_dc, k=int(k),
                     strategy=job_strategy, seed=setting.seed,
                     candidate_mode=setting.candidate_mode, setting=setting))
-    results = execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume)
+    results = execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume,
+                      chunk_size=chunk_size)
     delays: dict[tuple[str, float], list[float]] = {}
     for spec, delay in zip(specs, results):
         delays.setdefault((spec.series, spec.x), []).append(delay)
@@ -450,7 +459,8 @@ def run_table2(n_accesses_list: Sequence[int] = (1_000, 10_000, 100_000),
                seed: int = 0, *,
                jobs: int | None = 1,
                cache_dir: str | None = None,
-               resume: bool = False) -> list[Table2Row]:
+               resume: bool = False,
+               chunk_size: int | None = None) -> list[Table2Row]:
     """Table II: bandwidth and computation, online vs. offline.
 
     For each access volume *n*: draw *n* client coordinates from ``k``
@@ -467,7 +477,8 @@ def run_table2(n_accesses_list: Sequence[int] = (1_000, 10_000, 100_000),
     from repro.runner import Table2Spec, execute
     specs = [Table2Spec(n_accesses=int(n), k=k, m=m, dim=dim, seed=seed)
              for n in n_accesses_list]
-    return execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume)
+    return execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume,
+                   chunk_size=chunk_size)
 
 
 def run_coord_ablation(setting: EvaluationSetting | None = None,
@@ -476,7 +487,8 @@ def run_coord_ablation(setting: EvaluationSetting | None = None,
                        micro_clusters: int = 10, *,
                        jobs: int | None = 1,
                        cache_dir: str | None = None,
-                       resume: bool = False) -> FigureResult:
+                       resume: bool = False,
+                       chunk_size: int | None = None) -> FigureResult:
     """Ablation: how the coordinate system affects online placement.
 
     Each coordinate system is its own :class:`EvaluationSetting` (same
@@ -498,7 +510,8 @@ def run_coord_ablation(setting: EvaluationSetting | None = None,
                 n_dc=n_dc, k=k, strategy=job_strategy, seed=setting.seed,
                 candidate_mode=setting.candidate_mode,
                 setting=system_setting))
-    results = execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume)
+    results = execute(specs, jobs=jobs, cache_dir=cache_dir, resume=resume,
+                      chunk_size=chunk_size)
     delays: dict[str, list[float]] = {}
     for spec, delay in zip(specs, results):
         delays.setdefault(spec.series, []).append(delay)

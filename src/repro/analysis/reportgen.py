@@ -105,7 +105,8 @@ def _check_figure3_claims(figure3: FigureResult) -> list[ClaimCheck]:
 def generate_report(setting: EvaluationSetting | None = None, *,
                     jobs: int | None = 1,
                     cache_dir: str | None = None,
-                    resume: bool = False) -> str:
+                    resume: bool = False,
+                    chunk_size: int | None = None) -> str:
     """Run the full evaluation and return the Markdown report.
 
     ``jobs``/``cache_dir``/``resume`` are forwarded to every figure
@@ -113,7 +114,8 @@ def generate_report(setting: EvaluationSetting | None = None, *,
     regenerated in parallel and resumed after an interruption.
     """
     setting = setting or EvaluationSetting()
-    runner_kwargs = dict(jobs=jobs, cache_dir=cache_dir, resume=resume)
+    runner_kwargs = dict(jobs=jobs, cache_dir=cache_dir, resume=resume,
+                         chunk_size=chunk_size)
     lines: list[str] = []
     out = lines.append
 

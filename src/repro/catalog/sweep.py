@@ -229,7 +229,8 @@ def run_catalog_sweep(keys_list: Sequence[int],
                       queue_capacity: int | None = None,
                       jobs: int | None = 1,
                       cache_dir: str | None = None,
-                      resume: bool = False) -> list[dict[str, Any]]:
+                      resume: bool = False,
+                      chunk_size: int | None = None) -> list[dict[str, Any]]:
     """The ``(n_keys, n_shards)`` grid, through the parallel runner.
 
     Rows come back in grid order (keys outer, shards inner),
@@ -253,7 +254,7 @@ def run_catalog_sweep(keys_list: Sequence[int],
     registry = obs.get_registry()
     with registry.phase("catalog.sweep"):
         rows = execute(specs, jobs=jobs, cache_dir=cache_dir,
-                       resume=resume)
+                       resume=resume, chunk_size=chunk_size)
     if registry.enabled:
         registry.counter("catalog.cells").inc(len(specs))
     return rows

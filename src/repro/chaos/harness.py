@@ -386,7 +386,8 @@ def _aggregate(results: Sequence[ChaosRunResult]) -> dict[str, Any]:
 def run_chaos(scenario: ChaosScenario, *,
               jobs: int | None = 1,
               cache_dir: str | None = None,
-              resume: bool = False) -> dict[str, Any]:
+              resume: bool = False,
+              chunk_size: int | None = None) -> dict[str, Any]:
     """Run a scenario's faulty and baseline arms; return the summary.
 
     Every run index yields two cells (faults on / faults off) farmed
@@ -401,7 +402,7 @@ def run_chaos(scenario: ChaosScenario, *,
     registry = obs.get_registry()
     with registry.phase("chaos.run"):
         results = execute(specs, jobs=jobs, cache_dir=cache_dir,
-                          resume=resume)
+                          resume=resume, chunk_size=chunk_size)
     faulty = _aggregate(results[0::2])
     baseline = _aggregate(results[1::2])
     # Ratio of *final* latency: the faults in a scenario are expected to

@@ -81,13 +81,18 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="reuse cached jobs from --cache-dir instead "
                              "of recomputing them")
+    parser.add_argument("--chunk-size", type=int, default=None, metavar="K",
+                        help="jobs per dispatched chunk (default: auto-tuned "
+                             "from measured dispatch overhead)")
 
 
 def _runner_kwargs(args: argparse.Namespace) -> dict:
     if args.resume and not args.cache_dir:
         raise SystemExit("error: --resume requires --cache-dir")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        raise SystemExit("error: --chunk-size must be >= 1")
     return {"jobs": args.jobs, "cache_dir": args.cache_dir,
-            "resume": args.resume}
+            "resume": args.resume, "chunk_size": args.chunk_size}
 
 
 def _add_setting_args(parser: argparse.ArgumentParser) -> None:

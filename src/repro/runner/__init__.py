@@ -13,10 +13,12 @@ offers, without changing a single result bit:
 * :mod:`repro.runner.cache` — a content-addressed on-disk result cache
   (SHA-256 of the job config + code-version salt, atomic writes), which
   turns interrupted sweeps into resumable ones.
-* :mod:`repro.runner.pool` — the executor: ``ProcessPoolExecutor`` fan
-  -out with a zero-dependency serial fallback, bounded retry on worker
-  crash, a stall watchdog, KeyboardInterrupt draining, and per-worker
-  metrics registries merged back into the active one.
+* :mod:`repro.runner.pool` / :mod:`repro.runner.workers` — the
+  executor: a warm pool of persistent worker processes fed chunked job
+  batches (auto-tuned size, pull-on-idle load leveling), zero-copy
+  shared-memory world transfer, per-worker crash replacement with
+  bounded retry, a stall watchdog, KeyboardInterrupt draining, and
+  per-chunk metrics registries merged back into the active one.
 * :mod:`repro.runner.sweep` — declarative sweep specs (JSON/TOML) for
   the ``repro sweep`` CLI subcommand.
 
@@ -26,6 +28,8 @@ resume semantics.
 
 from repro.runner.cache import CACHE_SCHEMA, MISS, ResultCache, cache_key
 from repro.runner.jobs import (
+    ChunkResult,
+    JobChunk,
     JobSpec,
     PlacementRunSpec,
     STRATEGY_KINDS,
@@ -51,6 +55,8 @@ from repro.runner.sweep import (
 __all__ = [
     # jobs
     "JobSpec",
+    "JobChunk",
+    "ChunkResult",
     "PlacementRunSpec",
     "Table2Spec",
     "STRATEGY_KINDS",

@@ -46,6 +46,8 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
 
 __all__ = [
     "JobSpec",
+    "JobChunk",
+    "ChunkResult",
     "PlacementRunSpec",
     "Table2Spec",
     "seed_sequence",
@@ -257,3 +259,45 @@ class Table2Spec:
 #: Anything the executor accepts: needs ``payload()``, ``execute(world)``,
 #: a ``kind`` tag and a ``setting`` attribute.
 JobSpec = PlacementRunSpec | Table2Spec
+
+
+# ----------------------------------------------------------------------
+# Chunked dispatch: the unit of work shipped to a warm pool worker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobChunk:
+    """A batch of ``(spec index, spec)`` cells dispatched as one message.
+
+    Chunking amortizes the per-dispatch costs (pipe round-trip, spec
+    pickling, result unpickling, registry merge) over many small jobs —
+    the fix for the pathological regime where a 4 ms job pays a
+    multi-ms dispatch.  The executor sizes chunks from a measured
+    dispatch-overhead/job-cost ratio (see ``docs/runner.md``).
+    """
+
+    chunk_id: int
+    items: tuple[tuple[int, Any], ...]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """Everything a worker returns for one chunk, in one payload.
+
+    ``registry`` is the single :class:`~repro.obs.MetricsRegistry` the
+    whole chunk ran under (per-job ``runner.job`` timings included), so
+    the parent does one merge per chunk instead of one per job.
+    ``exec_seconds`` covers the chunk's whole run; ``setup_seconds`` is
+    the share spent building worlds from settings — the auto-tuner
+    subtracts it so one-off world construction is not mistaken for
+    per-job cost.
+    """
+
+    chunk_id: int
+    indices: tuple[int, ...]
+    results: tuple
+    registry: Any
+    exec_seconds: float
+    setup_seconds: float

@@ -1,47 +1,73 @@
-"""Parallel job execution: process pool with cache, retry and resume.
+"""Parallel job execution: a warm worker pool with chunked dispatch.
 
 :func:`execute` takes a list of job specs (:mod:`repro.runner.jobs`) and
 returns their results **in spec order**, regardless of how execution was
-scheduled.  Three execution concerns are layered on top of the raw pool:
+scheduled.  The execution engine is built for the paper's workload shape
+— thousands of ~4 ms cells — where naive pooling loses to serial:
 
 * **Serial fallback** — ``jobs=1`` runs every job in-process with zero
   extra machinery (no pickling, no subprocesses), which is also the mode
   the test suite uses for reference results.
-* **Result cache / resume** — with a ``cache_dir``, every completed job
-  is persisted through :class:`~repro.runner.cache.ResultCache` as it
-  finishes; with ``resume=True``, cached results are loaded up front and
-  only the missing jobs execute.  An interrupted sweep therefore resumes
-  from completed jobs instead of restarting.
+* **Warm worker pool** — ``jobs=N`` spawns N persistent worker
+  processes (:mod:`repro.runner.workers`) once per :func:`execute` call
+  and keeps them alive across crash-retry rounds: a dead worker is
+  replaced individually, the rest of the pool keeps its warm state
+  (attached world, world memo, imports).  The world ships once — via a
+  shared-memory segment for the standard array world (every worker maps
+  the same pages, zero-copy), pickled otherwise.
+* **Chunked, queue-leveled dispatch** — specs are grouped into
+  :class:`~repro.runner.jobs.JobChunk` batches so dispatch and
+  registry-merge costs amortize over dozens of jobs.  Chunk size is
+  auto-tuned from the first completed chunk's measured
+  dispatch-overhead/job-cost ratio (override with ``chunk_size=``, CLI
+  ``--chunk-size``).  Workers *pull* the next chunk when idle rather
+  than receiving a static partition, so heterogeneous cells cannot
+  straggle behind an unlucky pre-assignment.
+* **Result cache / resume** — with a ``cache_dir``, completed jobs are
+  persisted through :class:`~repro.runner.cache.ResultCache` chunk by
+  chunk (one fsync pass per chunk, not per job); with ``resume=True``,
+  cached results are loaded up front and only the missing jobs execute.
 * **Fault tolerance** — a worker process dying (OOM-kill, segfault,
-  ``os._exit``) breaks the pool; the executor counts the crash, rebuilds
-  the pool and re-runs only the unfinished jobs, up to ``retries``
-  times.  A stall watchdog (``timeout`` seconds without any job
-  completing) tears the pool down the same way.  ``KeyboardInterrupt``
-  cancels the jobs that have not started and re-raises — results already
-  completed are in the cache, so Ctrl-C + ``resume`` loses nothing.
+  ``os._exit``) is detected on its process sentinel; its in-flight
+  chunk is requeued and only that worker is respawned, up to
+  ``retries`` times.  A stall watchdog (``timeout`` seconds without any
+  chunk completing) kills and replaces the wedged workers the same way.
+  ``KeyboardInterrupt`` stops dispatch, drains in-flight chunks for a
+  bounded window (their results land in the cache) and re-raises —
+  Ctrl-C plus ``resume`` loses nothing.
 
 Observability: the parent times the whole call (``runner.sweep``) and
-counts ``runner.jobs`` / ``runner.jobs_completed`` / ``runner.cache_hits``
-/ ``runner.cache_misses`` / ``runner.worker_crashes`` / ``runner.retries``.
-Each worker runs its job under a private
-:class:`~repro.obs.MetricsRegistry` (which also captures the job's inner
+counts ``runner.jobs`` / ``runner.jobs_completed`` / ``runner.chunks`` /
+``runner.cache_hits`` / ``runner.cache_misses`` /
+``runner.worker_crashes`` / ``runner.stalls`` / ``runner.retries``,
+and gauges ``runner.chunk_size``, ``runner.dispatch_overhead`` (seconds,
+first completed chunk) and ``runner.shm_bytes`` (shared-memory world
+size).  Each worker runs its chunk under a private
+:class:`~repro.obs.MetricsRegistry` (which also captures the jobs' inner
 instrumentation, e.g. ``placement.online.place`` and the per-job
-``runner.job`` phase timer) and ships it back with the result; the
-parent merges every worker registry into the active one — histograms and
-timers merge by addition, so pooled worker metrics are lossless.
+``runner.job`` phase timer) and ships it back with the chunk; the parent
+merges every chunk registry into the active one — histograms and timers
+merge by addition, so pooled worker metrics are lossless.
 """
 
 from __future__ import annotations
 
+import math
+import multiprocessing
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+import time
+from collections import deque
+from multiprocessing import connection
 from typing import Any, Sequence
 
 from repro import obs
+from repro.runner import workers
 from repro.runner.cache import MISS, ResultCache
+from repro.runner.jobs import ChunkResult, JobChunk
+from repro.runner.workers import CRASH_ONCE_ENV  # re-export (test hook)
 
-__all__ = ["execute", "RunnerError", "WorkerCrashError", "StallTimeoutError"]
+__all__ = ["execute", "RunnerError", "WorkerCrashError", "StallTimeoutError",
+           "CRASH_ONCE_ENV"]
 
 
 class RunnerError(RuntimeError):
@@ -53,61 +79,29 @@ class WorkerCrashError(RunnerError):
 
 
 class StallTimeoutError(RunnerError):
-    """No job completed within the stall timeout."""
+    """No chunk completed within the stall timeout."""
 
 
-# ----------------------------------------------------------------------
-# Worker-side state and entry point
-# ----------------------------------------------------------------------
+#: How long a Ctrl-C waits for in-flight chunks before hard-stopping.
+_DRAIN_SECONDS = 10.0
 
-#: Worlds materialized in this process, keyed by EvaluationSetting.
-_worlds: dict[Any, Any] = {}
-#: World installed by the pool initializer (explicit-world mode).
-_explicit_world: Any = None
+#: Auto-tuner: jobs in the pilot chunks the tuner measures.
+_PILOT_CHUNK_JOBS = 2
+#: Auto-tuner: chunk compute must be >= this multiple of the measured
+#: dispatch overhead (20x == overhead <= 5% of the chunk).
+_OVERHEAD_AMORTIZATION = 20.0
+#: Auto-tuner: a chunk should also bundle at least this much compute, so
+#: parent-side per-chunk costs (merge, cache fsync) amortize too.
+_MIN_CHUNK_SECONDS = 0.05
+#: Load leveling: aim for at least this many chunks per worker, so slow
+#: cells cannot straggle behind a too-coarse partition.
+_LEVELING_CHUNKS_PER_WORKER = 4
+#: Hard ceiling on jobs per chunk.
+_MAX_CHUNK_JOBS = 256
 
-#: Test hook: when this env var names a path and the file does not exist
-#: yet, the worker creates it and dies with ``os._exit`` — a
-#: deterministic stand-in for an OOM-kill, used by the crash-safety
-#: tests.  The sentinel file makes the crash happen exactly once, so the
-#: retry path is exercised end-to-end.
-CRASH_ONCE_ENV = "REPRO_RUNNER_CRASH_ONCE"
-
-
-def _worker_init(world: Any) -> None:
-    global _explicit_world
-    _explicit_world = world
-
-
-def _world_for(spec: Any) -> Any:
-    """The world a spec runs against (explicit, or built from its setting)."""
-    if _explicit_world is not None:
-        return _explicit_world
-    setting = spec.setting
-    if setting is None:
-        return None
-    world = _worlds.get(setting)
-    if world is None:
-        world = _worlds[setting] = setting.build()
-    return world
-
-
-def _run_job(spec: Any) -> tuple[Any, obs.MetricsRegistry]:
-    """Worker entry point: execute one spec under a private registry."""
-    crash_sentinel = os.environ.get(CRASH_ONCE_ENV)
-    if crash_sentinel and not os.path.exists(crash_sentinel):
-        with open(crash_sentinel, "w") as handle:
-            handle.write("crashed\n")
-        os._exit(17)
-    local = obs.MetricsRegistry()
-    with obs.observe(local, obs.NULL_TRACER):
-        with local.phase("runner.job"):
-            result = spec.execute(_world_for(spec))
-    return result, local
-
-
-# ----------------------------------------------------------------------
-# Parent-side orchestration
-# ----------------------------------------------------------------------
+#: Test hook: called after each recorded chunk in the parallel loop
+#: (the KeyboardInterrupt drain tests raise from it deterministically).
+_after_chunk_hook = None
 
 _UNSET = object()
 
@@ -118,7 +112,9 @@ def execute(specs: Sequence[Any], *,
             resume: bool = False,
             timeout: float | None = None,
             retries: int = 2,
-            world: Any = None) -> list[Any]:
+            world: Any = None,
+            chunk_size: int | None = None,
+            meta_out: list | None = None) -> list[Any]:
     """Run every spec and return the results in spec order.
 
     Parameters
@@ -132,18 +128,30 @@ def execute(specs: Sequence[Any], *,
         Load cached results before executing; only misses run.  Requires
         ``cache_dir``.
     timeout:
-        Stall watchdog, in seconds: if no job completes for this long,
-        the pool is torn down and the unfinished jobs are retried (the
-        jobs of one sweep are homogeneous, so a stall this long means
-        some job blew its budget).  ``None`` disables the watchdog.
+        Stall watchdog, in seconds: if no chunk completes for this long,
+        the workers holding in-flight chunks are killed and replaced and
+        their chunks retried (the jobs of one sweep are homogeneous, so
+        a stall this long means some job blew its budget).  ``None``
+        disables the watchdog.
     retries:
-        How many pool rebuilds (after worker crashes or stalls) to
-        attempt before giving up.
+        How many worker-loss events (crashes or stalls) to tolerate —
+        each replaces only the dead worker, never the pool — before
+        giving up.
     world:
         Explicit ``(matrix, coords, heights)`` world for specs that do
         not carry a setting (:func:`repro.analysis.experiment.
-        run_comparison` uses this).  Shipped to each worker once via the
-        pool initializer.
+        run_comparison` uses this).  Shipped to the pool once, through
+        shared memory when it is the standard array world.
+    chunk_size:
+        Jobs per dispatched chunk.  ``None`` (default) auto-tunes from
+        the first completed chunk's dispatch-overhead/job-cost ratio;
+        ``1`` restores one-job-per-dispatch.  Ignored when ``jobs=1``.
+    meta_out:
+        Optional list; when given, one dict per spec (in spec order) is
+        appended recording how the cell was served: ``source``
+        (``cache`` / ``serial`` / ``worker``), ``chunk`` and ``worker``
+        ids, and the cell's data-plane ``engine`` when the spec carries
+        one.
     """
     if resume and cache_dir is None:
         raise ValueError("resume=True requires a cache_dir")
@@ -153,10 +161,13 @@ def execute(specs: Sequence[Any], *,
         raise ValueError("jobs must be >= 1 (or None for cpu_count)")
     if retries < 0:
         raise ValueError("retries must be >= 0")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1 (or None for auto)")
 
     registry = obs.get_registry()
     cache = ResultCache(cache_dir) if cache_dir else None
     results: list[Any] = [_UNSET] * len(specs)
+    meta: dict[int, dict] | None = {} if meta_out is not None else None
 
     with registry.phase("runner.sweep"):
         registry.counter("runner.jobs").inc(len(specs))
@@ -167,133 +178,390 @@ def execute(specs: Sequence[Any], *,
                 if hit is not MISS:
                     results[i] = hit
                     registry.counter("runner.cache_hits").inc()
+                    if meta is not None:
+                        meta[i] = {"source": "cache",
+                                   "engine": _engine_of(spec)}
                     continue
                 registry.counter("runner.cache_misses").inc()
             remaining.append(i)
 
         if jobs == 1:
-            _execute_serial(specs, remaining, world, cache, results, registry)
-        else:
+            _execute_serial(specs, remaining, world, cache, results,
+                            registry, meta)
+        elif remaining:
             _execute_pool(specs, remaining, jobs, world, cache, results,
-                          registry, timeout, retries)
+                          registry, timeout, retries, chunk_size, meta)
 
     missing = [i for i, r in enumerate(results) if r is _UNSET]
     if missing:  # pragma: no cover - defensive; all paths fill or raise
         raise RunnerError(f"jobs {missing} produced no result")
+    if meta_out is not None and meta is not None:
+        meta_out.extend({"index": i, **meta.get(i, {})}
+                        for i in range(len(specs)))
     return results
 
 
-def _record(i: int, result: Any, specs: Sequence[Any], cache, results,
-            registry) -> None:
-    results[i] = result
-    if cache is not None:
-        cache.put(specs[i], result)
-    registry.counter("runner.jobs_completed").inc()
+def _engine_of(spec: Any) -> Any:
+    """The data-plane engine a cell runs on, if its spec records one."""
+    engine = getattr(spec, "engine", None)
+    if engine is None:
+        engine = getattr(getattr(spec, "scenario", None), "engine", None)
+    return engine
 
 
-def _execute_serial(specs, remaining, world, cache, results, registry):
+def _execute_serial(specs, remaining, world, cache, results, registry, meta):
     for i in remaining:
         with registry.phase("runner.job"):
             result = specs[i].execute(world if world is not None
-                                      else _world_for(specs[i]))
-        _record(i, result, specs, cache, results, registry)
+                                      else workers.world_for(specs[i]))
+        results[i] = result
+        if cache is not None:
+            cache.put(specs[i], result)
+        registry.counter("runner.jobs_completed").inc()
+        if meta is not None:
+            meta[i] = {"source": "serial", "engine": _engine_of(specs[i])}
+
+
+# ----------------------------------------------------------------------
+# The warm pool
+# ----------------------------------------------------------------------
+
+class _PoolWorker:
+    """Parent-side record of one live worker process."""
+
+    __slots__ = ("id", "process", "conn", "chunk", "sent_at")
+
+    def __init__(self, worker_id, process, conn):
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+        self.chunk: JobChunk | None = None
+        self.sent_at = 0.0
+
+
+class WorkerPool:
+    """N persistent workers, each fed chunk-by-chunk over a private pipe.
+
+    Dispatch is parent-driven pull-on-idle: a worker gets its next chunk
+    only when its previous one returns, which levels load across
+    heterogeneous cells without any shared queue (and therefore without
+    shared locks a killed worker could wedge).
+    """
+
+    def __init__(self, n_workers: int, world_handle: tuple | None) -> None:
+        self._ctx = multiprocessing.get_context()
+        self._world_handle = world_handle
+        self._next_id = 0
+        self._closed = False
+        self.workers: list[_PoolWorker] = [self._spawn()
+                                           for _ in range(n_workers)]
+
+    def _spawn(self) -> _PoolWorker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=workers.worker_main,
+            args=(self._next_id, child_conn, self._world_handle),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        worker = _PoolWorker(self._next_id, process, parent_conn)
+        self._next_id += 1
+        return worker
+
+    def idle(self) -> list[_PoolWorker]:
+        return [w for w in self.workers if w.chunk is None]
+
+    def in_flight(self) -> list[_PoolWorker]:
+        return [w for w in self.workers if w.chunk is not None]
+
+    def send(self, worker: _PoolWorker, chunk: JobChunk) -> None:
+        worker.chunk = chunk
+        worker.sent_at = time.perf_counter()
+        worker.conn.send(chunk)
+
+    def wait(self, timeout: float | None):
+        """Events among busy workers: ``(worker, "result"|"dead", payload)``.
+
+        An empty list means the timeout expired with nothing completed
+        (the stall signal).  A worker whose pipe delivered a result and
+        then hit EOF is still a result — salvage beats suspicion.
+        """
+        busy = self.in_flight()
+        waitables = [w.conn for w in busy] + [w.process.sentinel
+                                             for w in busy]
+        ready = set(connection.wait(waitables, timeout))
+        events = []
+        for worker in busy:
+            if worker.conn in ready:
+                try:
+                    payload = worker.conn.recv()
+                except (EOFError, OSError):
+                    events.append((worker, "dead", None))
+                else:
+                    events.append((worker, "result", payload))
+            elif worker.process.sentinel in ready:
+                events.append((worker, "dead", None))
+        return events
+
+    def replace(self, worker: _PoolWorker) -> JobChunk | None:
+        """Kill and respawn one worker; return its lost chunk, if any."""
+        lost = worker.chunk
+        self._reap(worker)
+        self.workers[self.workers.index(worker)] = self._spawn()
+        return lost
+
+    def kill_stalled(self) -> list[JobChunk]:
+        """Replace every worker holding an in-flight chunk (the wedged
+        set at a stall); return their chunks for requeueing."""
+        lost = []
+        for worker in self.in_flight():
+            chunk = self.replace(worker)
+            if chunk is not None:
+                lost.append(chunk)
+        return lost
+
+    def _reap(self, worker: _PoolWorker) -> None:
+        try:
+            worker.process.terminate()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        worker.process.join(timeout=5)
+        if worker.process.is_alive():  # pragma: no cover - wedged hard
+            worker.process.kill()
+            worker.process.join(timeout=5)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def shutdown(self, hard: bool = False) -> None:
+        """Stop every worker: idle ones get a goodbye message (they exit
+        cleanly, keeping pipes intact), busy or ``hard``-stopped ones are
+        terminated."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            if not hard and worker.chunk is None and worker.process.is_alive():
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in self.workers:
+            self._reap(worker)
+
+
+# ----------------------------------------------------------------------
+# Chunk cutting and auto-tuning
+# ----------------------------------------------------------------------
+
+class _ChunkDispatcher:
+    """Cuts pending spec indices into chunks, auto-tuning the size.
+
+    Until the first chunk completes, chunks are small pilots; the first
+    completion measures the dispatch overhead (parent wall time minus
+    worker compute) and the per-job cost, and sizes subsequent chunks so
+    the overhead amortizes to <= ~5% — clamped so every worker still
+    sees several chunks (load leveling) and to a hard ceiling.
+    """
+
+    def __init__(self, specs, remaining, chunk_size, n_workers, registry):
+        self._specs = specs
+        self._pending = deque(remaining)
+        self._requeued: deque[JobChunk] = deque()
+        self._fixed = chunk_size
+        self._tuned: int | None = None
+        self._n_workers = n_workers
+        self._total = len(remaining)
+        self._next_chunk_id = 0
+        self._overhead_recorded = False
+        self._registry = registry
+        if chunk_size is not None:
+            registry.gauge("runner.chunk_size").set(chunk_size)
+
+    def has_pending(self) -> bool:
+        return bool(self._pending or self._requeued)
+
+    def outstanding(self) -> int:
+        """Jobs not yet recorded (pending + requeued)."""
+        return len(self._pending) + sum(len(c) for c in self._requeued)
+
+    def _current_size(self) -> int:
+        if self._fixed is not None:
+            return self._fixed
+        if self._tuned is not None:
+            return self._tuned
+        return _PILOT_CHUNK_JOBS
+
+    def next_chunk(self) -> JobChunk | None:
+        if self._requeued:
+            return self._requeued.popleft()
+        if not self._pending:
+            return None
+        size = min(self._current_size(), len(self._pending))
+        items = tuple((i, self._specs[i])
+                      for i in (self._pending.popleft()
+                                for _ in range(size)))
+        chunk = JobChunk(chunk_id=self._next_chunk_id, items=items)
+        self._next_chunk_id += 1
+        self._registry.counter("runner.chunks").inc()
+        return chunk
+
+    def requeue(self, chunks: Sequence[JobChunk]) -> None:
+        self._requeued.extend(chunks)
+
+    def note_complete(self, result: ChunkResult, wall_seconds: float) -> None:
+        n_jobs = len(result.indices)
+        overhead = max(wall_seconds - result.exec_seconds, 0.0)
+        if not self._overhead_recorded:
+            self._overhead_recorded = True
+            self._registry.gauge("runner.dispatch_overhead").set(overhead)
+        if self._fixed is not None or self._tuned is not None:
+            return
+        per_job = max((result.exec_seconds - result.setup_seconds)
+                      / max(n_jobs, 1), 1e-6)
+        amortized = math.ceil(overhead * _OVERHEAD_AMORTIZATION / per_job)
+        floor = math.ceil(_MIN_CHUNK_SECONDS / per_job)
+        leveling_cap = max(1, math.ceil(
+            self._total / (self._n_workers * _LEVELING_CHUNKS_PER_WORKER)))
+        self._tuned = max(1, min(max(amortized, floor), leveling_cap,
+                                 _MAX_CHUNK_JOBS))
+        self._registry.gauge("runner.chunk_size").set(self._tuned)
+
+
+# ----------------------------------------------------------------------
+# Parent-side orchestration
+# ----------------------------------------------------------------------
+
+def _world_handle(specs, remaining, world, registry):
+    """How the pool ships its world: ``(handle, SharedWorld | None)``.
+
+    An explicit world ships as-is; when every remaining spec shares one
+    setting, the parent builds that world once (memoized) and shares it,
+    so N workers stop doing N redundant builds.  Heterogeneous settings
+    fall back to per-worker builds through the bounded world memo.
+    """
+    if world is None:
+        settings = {getattr(specs[i], "setting", None) for i in remaining}
+        if len(settings) != 1:
+            return ("none",), None
+        setting = settings.pop()
+        if setting is None:
+            return ("none",), None
+        world = workers.world_memo.get_or_build(setting)
+    shared = workers.try_pack_shared(world)
+    if shared is not None:
+        registry.gauge("runner.shm_bytes").set(shared.nbytes)
+        return shared.handle, shared
+    return ("pickle", world), None
+
+
+def _record_chunk(result: ChunkResult, worker, specs, cache, results,
+                  registry, dispatcher, meta) -> None:
+    registry.merge(result.registry)
+    pairs = list(zip(result.indices, result.results))
+    for i, value in pairs:
+        results[i] = value
+    if cache is not None:
+        cache.put_many([(specs[i], value) for i, value in pairs])
+    registry.counter("runner.jobs_completed").inc(len(pairs))
+    dispatcher.note_complete(result, time.perf_counter() - worker.sent_at)
+    if meta is not None:
+        for i in result.indices:
+            meta[i] = {"source": "worker", "worker": worker.id,
+                       "chunk": result.chunk_id,
+                       "engine": _engine_of(specs[i])}
 
 
 def _execute_pool(specs, remaining, jobs, world, cache, results, registry,
-                  timeout, retries):
-    attempts = 0
-    while remaining:
-        try:
-            _pool_round(specs, remaining, jobs, world, cache, results,
-                        registry, timeout)
-        except (BrokenProcessPool, StallTimeoutError) as exc:
-            crashed = isinstance(exc, BrokenProcessPool)
-            registry.counter("runner.worker_crashes"
-                             if crashed else "runner.stalls").inc()
-            attempts += 1
-            if attempts > retries:
-                if crashed:
-                    raise WorkerCrashError(
-                        f"worker crashed and {retries} retries exhausted "
-                        f"({len(remaining)} jobs unfinished)") from exc
-                raise
-            registry.counter("runner.retries").inc()
-        remaining = [i for i in remaining if results[i] is _UNSET]
-
-
-def _collect_done(done, futures, specs, cache, results, registry) -> None:
-    """Record every successfully completed future; re-raise pool breakage
-    only after salvaging the batch's good results."""
-    broken: BrokenProcessPool | None = None
-    for future in done:
-        try:
-            result, worker_registry = future.result()
-        except BrokenProcessPool as exc:
-            broken = exc
-            continue
-        registry.merge(worker_registry)
-        _record(futures[future], result, specs, cache, results, registry)
-    if broken is not None:
-        raise broken
-
-
-def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Hard-stop a pool whose workers may be wedged."""
-    for process in list(getattr(pool, "_processes", {}).values()):
-        try:
-            process.terminate()
-        except OSError:  # pragma: no cover - already gone
-            pass
-    pool.shutdown(wait=False, cancel_futures=True)
-
-
-def _pool_round(specs, remaining, jobs, world, cache, results, registry,
-                timeout):
-    """One pool lifetime; records whatever completes before any failure.
-
-    The pool is managed by hand (no ``with``) because
-    ``ProcessPoolExecutor.__exit__`` waits for running jobs — with a
-    wedged worker that wait never returns, so the stall watchdog must be
-    able to terminate the worker processes instead.
-    """
-    max_workers = min(jobs, len(remaining)) or 1
-    pool = ProcessPoolExecutor(max_workers=max_workers,
-                               initializer=_worker_init,
-                               initargs=(world,))
-    try:
-        futures = {pool.submit(_run_job, specs[i]): i for i in remaining}
-        not_done = set(futures)
-        try:
-            while not_done:
-                done, not_done = wait(not_done, timeout=timeout,
-                                      return_when=FIRST_COMPLETED)
-                if not done:
-                    _terminate_pool(pool)
-                    raise StallTimeoutError(
-                        f"no job completed within {timeout}s "
-                        f"({len(not_done)} in flight)")
-                _collect_done(done, futures, specs, cache, results, registry)
-        except KeyboardInterrupt:
-            # Graceful drain: cancel everything not yet started, give
-            # in-flight jobs a bounded window to finish (their results
-            # land in the cache), then hard-stop and re-raise.
-            cancelled = {f for f in not_done if f.cancel()}
-            in_flight = not_done - cancelled
-            if in_flight:
-                done, straggling = wait(in_flight,
-                                        timeout=_DRAIN_SECONDS)
-                try:
-                    _collect_done(done, futures, specs, cache, results,
+                  timeout, retries, chunk_size, meta):
+    handle, shared = _world_handle(specs, remaining, world, registry)
+    n_workers = max(1, min(jobs, len(remaining)))
+    pool = WorkerPool(n_workers, handle)
+    dispatcher = _ChunkDispatcher(specs, remaining, chunk_size, n_workers,
                                   registry)
-                except BrokenProcessPool:
-                    pass
-            _terminate_pool(pool)
-            raise
-        pool.shutdown(wait=True)
-    except BrokenProcessPool:
-        pool.shutdown(wait=False, cancel_futures=True)
+    attempts = 0
+
+    def note_crash(worker) -> None:
+        """One worker died: count it, replace only it, requeue its chunk."""
+        nonlocal attempts
+        registry.counter("runner.worker_crashes").inc()
+        attempts += 1
+        lost = pool.replace(worker)
+        unfinished = dispatcher.outstanding() + (len(lost) if lost else 0)
+        if attempts > retries:
+            raise WorkerCrashError(
+                f"worker crashed and {retries} retries exhausted "
+                f"({unfinished} jobs unfinished)")
+        registry.counter("runner.retries").inc()
+        if lost is not None:
+            dispatcher.requeue([lost])
+
+    try:
+        while dispatcher.has_pending() or pool.in_flight():
+            for worker in pool.idle():
+                if not worker.process.is_alive():
+                    note_crash(worker)  # replacement is fed next pass
+                    continue
+                chunk = dispatcher.next_chunk()
+                if chunk is None:
+                    break
+                try:
+                    pool.send(worker, chunk)
+                except (BrokenPipeError, OSError):
+                    note_crash(worker)  # chunk was claimed: requeued
+            if not pool.in_flight():
+                continue
+            events = pool.wait(timeout)
+            if not events:
+                registry.counter("runner.stalls").inc()
+                attempts += 1
+                in_flight = len(pool.in_flight())
+                dispatcher.requeue(pool.kill_stalled())
+                if attempts > retries:
+                    raise StallTimeoutError(
+                        f"no chunk completed within {timeout}s "
+                        f"({in_flight} in flight) and {retries} retries "
+                        f"exhausted")
+                registry.counter("runner.retries").inc()
+                continue
+            for worker, kind, payload in events:
+                if kind == "result":
+                    _record_chunk(payload, worker, specs, cache, results,
+                                  registry, dispatcher, meta)
+                    worker.chunk = None
+                    if _after_chunk_hook is not None:
+                        _after_chunk_hook()
+                else:
+                    note_crash(worker)
+    except KeyboardInterrupt:
+        # Graceful drain: stop dispatching (pending chunks are simply
+        # never sent), give in-flight chunks a bounded window to finish
+        # — their results land in the cache — then hard-stop and
+        # re-raise.  Ctrl-C + resume loses nothing.
+        _drain_in_flight(pool, specs, cache, results, registry, dispatcher,
+                         meta)
         raise
+    finally:
+        pool.shutdown()
+        if shared is not None:
+            shared.close()
 
 
-#: How long a Ctrl-C waits for in-flight jobs before hard-stopping.
-_DRAIN_SECONDS = 10.0
+def _drain_in_flight(pool, specs, cache, results, registry, dispatcher,
+                     meta) -> None:
+    deadline = time.monotonic() + _DRAIN_SECONDS
+    try:
+        while pool.in_flight():
+            left = deadline - time.monotonic()
+            if left <= 0:
+                break
+            for worker, kind, payload in pool.wait(left):
+                if kind == "result":
+                    _record_chunk(payload, worker, specs, cache, results,
+                                  registry, dispatcher, meta)
+                worker.chunk = None
+    except KeyboardInterrupt:
+        pass  # second Ctrl-C: stop draining immediately
+    finally:
+        pool.shutdown(hard=True)

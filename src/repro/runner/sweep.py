@@ -114,13 +114,15 @@ def load_sweep_spec(path: str) -> SweepSpec:
 def run_sweep(spec: SweepSpec, *,
               jobs: int | None = 1,
               cache_dir: str | None = None,
-              resume: bool = False) -> FigureResult | Sequence[Table2Row]:
+              resume: bool = False,
+              chunk_size: int | None = None,
+              ) -> FigureResult | Sequence[Table2Row]:
     """Execute one declarative sweep through the parallel runner."""
     runner, _allowed = SWEEP_KINDS[spec.kind]
     kwargs: dict[str, Any] = dict(spec.params)
     if spec.kind == "table2":
         kwargs.setdefault("seed", spec.setting.seed)
         return run_table2(jobs=jobs, cache_dir=cache_dir, resume=resume,
-                          **kwargs)
+                          chunk_size=chunk_size, **kwargs)
     return runner(spec.setting, jobs=jobs, cache_dir=cache_dir,
-                  resume=resume, **kwargs)
+                  resume=resume, chunk_size=chunk_size, **kwargs)

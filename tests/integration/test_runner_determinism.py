@@ -198,3 +198,144 @@ class TestChaosGoldenDeterminism:
         # Every cell was replayed from the cache, none recomputed.
         assert registry.counter("runner.cache_hits").value == 2
         assert registry.counter("runner.jobs_completed").value == 0
+
+
+class TestGoldenAcrossWorkersAndChunks:
+    """Bit-identical spec-ordered results at every (workers, chunk size)
+    point of the matrix — the warm pool's core contract: chunking and
+    scheduling are pure execution detail, invisible in the results.
+    """
+
+    KWARGS = dict(datacenter_counts=(4, 6), k=2, micro_clusters=4)
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return run_figure1(SETTING, **self.KWARGS)
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("chunk_size", [1, 8, None],
+                             ids=["chunk1", "chunk8", "auto"])
+    def test_matrix_point_matches_golden(self, golden, jobs, chunk_size):
+        assert run_figure1(SETTING, **self.KWARGS, jobs=jobs,
+                           chunk_size=chunk_size) == golden
+
+
+class TestSharedMemoryWorld:
+    def test_shm_world_gives_identical_results(self):
+        from repro.placement.random_placement import RandomPlacement
+        from repro.placement.online import OnlineClusteringPlacement
+        from repro.analysis.experiment import run_comparison
+
+        matrix, coords, heights = SETTING.build()
+        strategies = [RandomPlacement(), OnlineClusteringPlacement(
+            micro_clusters=4)]
+        kwargs = dict(n_dc=6, k=2, n_runs=3, seed=13, heights=heights)
+
+        serial = run_comparison(matrix, coords, strategies, **kwargs)
+        with obs.observe() as (registry, _):
+            parallel = run_comparison(matrix, coords, strategies, **kwargs,
+                                      jobs=2)
+        assert parallel == serial
+        # The explicit array world travelled through one shared-memory
+        # segment, not N pickled copies.
+        assert registry.gauge("runner.shm_bytes").value > 0
+
+
+class TestKeyboardInterruptDrain:
+    def test_interrupt_drains_in_flight_results_into_cache(
+            self, tmp_path, monkeypatch):
+        from repro.runner import pool
+
+        specs = [Table2Spec(n_accesses=100 + 50 * i, k=2, m=4, seed=3)
+                 for i in range(6)]
+        reference = execute(specs, jobs=1)
+        cache_dir = str(tmp_path / "cache")
+
+        recorded = 0
+
+        def interrupt_after_two_chunks():
+            nonlocal recorded
+            recorded += 1
+            if recorded >= 2:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(pool, "_after_chunk_hook",
+                            interrupt_after_two_chunks)
+        with pytest.raises(KeyboardInterrupt):
+            execute(specs, jobs=2, chunk_size=1, cache_dir=cache_dir)
+        monkeypatch.setattr(pool, "_after_chunk_hook", None)
+
+        # Every chunk completed before or drained after the interrupt is
+        # already durable — Ctrl-C plus resume loses nothing.
+        salvaged = len(ResultCache(cache_dir))
+        assert salvaged >= 2
+
+        with obs.observe() as (registry, _):
+            resumed = execute(specs, jobs=2, cache_dir=cache_dir,
+                              resume=True)
+        assert _deterministic_rows(resumed) == _deterministic_rows(reference)
+        assert registry.counter("runner.cache_hits").value == salvaged
+        assert registry.counter("runner.jobs_completed").value == \
+            len(specs) - salvaged
+
+
+class _SleepOnceSpec:
+    """First spec to run creates the sentinel and wedges; every other
+    execution (including the post-watchdog retry) returns immediately.
+    ``open(..., "x")`` makes creation exclusive, so exactly one job
+    sleeps however the pool schedules the chunks.
+    """
+
+    kind = "sleep-once"
+    setting = None
+
+    def __init__(self, sentinel: str, n: int):
+        self.sentinel = sentinel
+        self.n = n
+
+    def payload(self):
+        return {"kind": self.kind, "sentinel": self.sentinel, "n": self.n}
+
+    def execute(self, world=None):
+        try:
+            with open(self.sentinel, "x") as handle:
+                handle.write("wedged\n")
+        except FileExistsError:
+            return float(self.n)
+        time.sleep(8.0)
+        return float(self.n)
+
+
+class _AlwaysSleepsSpec(_SleepOnceSpec):
+    """A job that wedges on every attempt — exhausts the stall budget."""
+
+    def execute(self, world=None):
+        time.sleep(8.0)
+        return float(self.n)
+
+
+class TestStallWatchdogAccounting:
+    def test_stalled_worker_killed_retried_and_counted(self, tmp_path):
+        sentinel = str(tmp_path / "wedge-once")
+        specs = [_SleepOnceSpec(sentinel, n) for n in range(3)]
+
+        with obs.observe() as (registry, _):
+            results = execute(specs, jobs=2, chunk_size=1, timeout=0.75,
+                              retries=2)
+
+        assert results == [0.0, 1.0, 2.0]
+        assert os.path.exists(sentinel), "the wedge hook never fired"
+        # One stall event, one retry, no crash miscounted as a stall (or
+        # vice versa): the watchdog and the crash path share the retry
+        # budget but keep separate counters.
+        assert registry.counter("runner.stalls").value == 1
+        assert registry.counter("runner.retries").value == 1
+        assert registry.counter("runner.worker_crashes").value == 0
+        assert registry.counter("runner.jobs_completed").value == 3
+
+    def test_stall_budget_exhaustion_raises(self, tmp_path):
+        from repro.runner import StallTimeoutError
+
+        specs = [_AlwaysSleepsSpec(str(tmp_path / "unused"), 0)]
+        with pytest.raises(StallTimeoutError):
+            execute(specs, jobs=2, chunk_size=1, timeout=0.4, retries=1)

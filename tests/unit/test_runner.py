@@ -280,3 +280,156 @@ class TestSweepSpec:
         direct = run_figure2(setting, replica_counts=(1, 2), n_dc=6,
                              micro_clusters=4)
         assert result.series == direct.series
+
+
+class TestPutMany:
+    def _specs(self, n):
+        return [Table2Spec(n_accesses=50 + 10 * i, k=2, m=3, seed=5)
+                for i in range(n)]
+
+    def test_batch_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        specs = self._specs(5)
+        keys = cache.put_many((s, float(i)) for i, s in enumerate(specs))
+        assert keys == [cache_key(s) for s in specs]
+        assert [cache.get(s) for s in specs] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert len(cache) == 5
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.put_many([]) == []
+        assert len(cache) == 0
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put_many([(s, 1.0) for s in self._specs(4)])
+        leftovers = [f for _r, _d, files in os.walk(str(tmp_path))
+                     for f in files if f.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_matches_put_entries_byte_for_byte(self, tmp_path):
+        spec = Table2Spec(n_accesses=70, k=2, m=3, seed=5)
+        a = ResultCache(str(tmp_path / "a"))
+        b = ResultCache(str(tmp_path / "b"))
+        key = a.put(spec, 2.5)
+        assert b.put_many([(spec, 2.5)]) == [key]
+        path = os.path.join(key[:2], key + ".json")
+        with open(os.path.join(a.directory, path), "rb") as fa, \
+                open(os.path.join(b.directory, path), "rb") as fb:
+            assert fa.read() == fb.read()
+
+
+class TestWorldMemo:
+    class _FakeSetting:
+        """Hashable stand-in for EvaluationSetting with a cheap build()."""
+
+        def __init__(self, tag):
+            self.tag = tag
+            self.builds = 0
+
+        def __hash__(self):
+            return hash(self.tag)
+
+        def __eq__(self, other):
+            return isinstance(other, type(self)) and self.tag == other.tag
+
+        def build(self):
+            self.builds += 1
+            return ("world", self.tag)
+
+    def test_memoizes_repeat_lookups(self):
+        from repro.runner.workers import WorldMemo
+        memo = WorldMemo(cap=4)
+        setting = self._FakeSetting("a")
+        assert memo.get_or_build(setting) == ("world", "a")
+        assert memo.get_or_build(setting) == ("world", "a")
+        assert setting.builds == 1
+
+    def test_eviction_is_bounded_and_lru_ordered(self):
+        from repro.runner.workers import WorldMemo
+        memo = WorldMemo(cap=3)
+        settings = [self._FakeSetting(i) for i in range(5)]
+        for setting in settings:              # 5 distinct > cap 3
+            memo.get_or_build(setting)
+        assert len(memo) == 3
+        assert settings[0] not in memo and settings[1] not in memo
+        assert all(s in memo for s in settings[2:])
+
+        # A hit refreshes recency: touching the oldest survivor keeps it
+        # through the next eviction.
+        memo.get_or_build(settings[2])
+        memo.get_or_build(self._FakeSetting("fresh"))
+        assert settings[2] in memo and settings[3] not in memo
+
+    def test_build_seconds_accumulates_only_on_builds(self):
+        from repro.runner.workers import WorldMemo
+        memo = WorldMemo(cap=2)
+        setting = self._FakeSetting("a")
+        memo.get_or_build(setting)
+        after_build = memo.build_seconds
+        assert after_build > 0.0
+        memo.get_or_build(setting)
+        assert memo.build_seconds == after_build
+
+    def test_rejects_cap_below_one(self):
+        from repro.runner.workers import WorldMemo
+        with pytest.raises(ValueError, match="cap"):
+            WorldMemo(cap=0)
+
+    def test_worker_module_memo_is_bounded(self):
+        from repro.runner.workers import WORLD_MEMO_CAP, WorldMemo, world_memo
+        assert isinstance(world_memo, WorldMemo)
+        assert world_memo.cap == WORLD_MEMO_CAP
+
+
+class TestChunkedExecute:
+    def _specs(self, n=6):
+        return [Table2Spec(n_accesses=50 + 10 * i, k=2, m=3, seed=5)
+                for i in range(n)]
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            execute([], chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            execute([], chunk_size=-3)
+
+    def test_explicit_chunk_size_drives_chunk_count(self):
+        def stable(rows):   # strip the wall-clock fields Table2Row carries
+            return [(r.n_accesses, r.online_bytes, r.offline_bytes)
+                    for r in rows]
+
+        specs = self._specs(6)
+        serial = execute(specs, jobs=1)
+        with obs.observe() as (registry, _):
+            rows = execute(specs, jobs=2, chunk_size=2)
+        assert stable(rows) == stable(serial)
+        assert registry.counter("runner.chunks").value == 3
+        assert registry.counter("runner.jobs_completed").value == 6
+
+    def test_auto_tuning_records_gauges(self):
+        specs = self._specs(8)
+        with obs.observe() as (registry, _):
+            execute(specs, jobs=2)
+        assert registry.gauge("runner.chunk_size").value >= 1
+        assert registry.gauge("runner.dispatch_overhead").value >= 0.0
+        assert registry.counter("runner.chunks").value >= 2
+
+    def test_meta_out_records_provenance(self, tmp_path):
+        specs = self._specs(4)
+        meta = []
+        execute(specs, jobs=2, chunk_size=2, cache_dir=str(tmp_path),
+                meta_out=meta)
+        assert [row["index"] for row in meta] == [0, 1, 2, 3]
+        assert {row["source"] for row in meta} == {"worker"}
+        assert all("chunk" in row and "worker" in row and "engine" in row
+                   for row in meta)
+
+        resumed_meta = []
+        execute(specs, jobs=2, cache_dir=str(tmp_path), resume=True,
+                meta_out=resumed_meta)
+        assert {row["source"] for row in resumed_meta} == {"cache"}
+
+    def test_meta_out_serial_source(self):
+        meta = []
+        execute(self._specs(2), jobs=1, meta_out=meta)
+        assert [row["source"] for row in meta] == ["serial", "serial"]
